@@ -1,0 +1,31 @@
+"""Shared configuration for the benchmark harness.
+
+Every benchmark regenerates one table or figure of the paper.  The produced
+rows are attached to the pytest-benchmark ``extra_info`` so they appear in the
+saved benchmark JSON, and the headline quantities are printed so a plain
+``pytest benchmarks/ --benchmark-only`` run shows the reproduced numbers.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+def _attach(benchmark, rows, keys=None, limit=24):
+    serializable = []
+    for r in list(rows)[:limit]:
+        serializable.append(
+            {
+                k: (float(v) if isinstance(v, (int, float)) else str(v))
+                for k, v in r.items()
+                if keys is None or k in keys
+            }
+        )
+    benchmark.extra_info["rows"] = serializable
+    benchmark.extra_info["n_rows"] = len(list(rows))
+
+
+@pytest.fixture
+def attach_rows():
+    """Fixture returning a helper that stores experiment rows in extra_info."""
+    return _attach

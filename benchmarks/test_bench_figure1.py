@@ -1,0 +1,16 @@
+"""Benchmark / regeneration of Figure 1: the worked TSLU example."""
+
+from __future__ import annotations
+
+
+
+from repro.experiments import figure1
+
+
+def test_bench_figure1_example(benchmark, attach_rows):
+    result = benchmark(figure1.run)
+    assert result["pivots_match_gepp"]
+    assert result["factorization_residual"] < 1e-12
+    benchmark.extra_info["tslu_pivots"] = result["tslu_pivots"]
+    benchmark.extra_info["gepp_pivots"] = result["gepp_pivots"]
+    print("\n" + figure1.describe(result))

@@ -1,0 +1,25 @@
+"""Benchmark / regeneration of Figure 2: growth factor and minimum threshold."""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+from repro.experiments import figure2, format_table
+
+
+def test_bench_figure2_growth_and_threshold(benchmark, attach_rows):
+    rows = benchmark.pedantic(
+        lambda: figure2.run(sizes=(128, 256, 512), configs=((4, 16), (8, 16), (8, 32)), samples=1),
+        rounds=1,
+        iterations=1,
+    )
+    calu_rows = [r for r in rows if r["method"] == "calu"]
+    # Paper's observations: tau_min >= 0.33 (we allow margin at small n) and
+    # gT within a small multiple of n^(2/3).
+    assert all(r["tau_min"] > 0.15 for r in calu_rows)
+    assert all(r["gT"] < 12 * r["n_two_thirds"] for r in calu_rows)
+    attach_rows(benchmark, rows)
+    print("\n" + format_table(rows, columns=["n", "P", "b", "method", "gT",
+                                             "n_two_thirds", "tau_min", "tau_ave"],
+                              title="Figure 2 (scaled sizes)"))

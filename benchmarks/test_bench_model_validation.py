@@ -1,0 +1,40 @@
+"""Validation benchmark: the analytic models vs the executing simulator.
+
+Not a table of the paper, but the experiment that justifies using Equations
+1-3 for Tables 3-7: the SPMD implementations are run on the virtual MPI at
+small sizes and their measured message counts are compared with the models'
+latency terms.
+"""
+
+from __future__ import annotations
+
+import math
+
+
+from repro.experiments import format_table, validation
+from repro.models import pdgetf2_cost, tslu_cost
+
+
+def test_bench_validation_tslu_message_count(benchmark, attach_rows):
+    row = benchmark.pedantic(
+        lambda: validation.measure_panel_counts(m=256, b=8, P=8), rounds=1, iterations=1
+    )
+    assert row["max_messages_per_rank"] == math.log2(8)
+    assert row["max_messages_per_rank"] == tslu_cost(256, 8, 8).messages_col
+    benchmark.extra_info.update({k: float(v) for k, v in row.items()})
+    print(f"\nTSLU panel (m=256, b=8, P=8): measured {row['max_messages_per_rank']} "
+          f"messages/rank vs model {tslu_cost(256, 8, 8).messages_col} "
+          f"(PDGETF2 model: {pdgetf2_cost(256, 8, 8).messages_col})")
+
+
+def test_bench_validation_full_factorization_counts(benchmark, attach_rows):
+    rows = benchmark.pedantic(
+        lambda: validation.measure_factorization_counts(n=64, b=8, Pr=2, Pc=2),
+        rounds=1,
+        iterations=1,
+    )
+    by_alg = {r["algorithm"]: r for r in rows}
+    assert by_alg["calu"]["max_messages_per_rank"] < by_alg["pdgetrf"]["max_messages_per_rank"]
+    assert by_alg["calu"]["factorization_error"] < 1e-10
+    attach_rows(benchmark, rows)
+    print("\n" + format_table(rows, title="Simulator counts: CALU vs PDGETRF (n=64, b=8, 2x2)"))

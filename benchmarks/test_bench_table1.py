@@ -1,0 +1,18 @@
+"""Benchmark / regeneration of Table 1: HPL accuracy tests for ca-pivoting."""
+
+from __future__ import annotations
+
+
+
+from repro.experiments import format_table, table1
+
+
+def test_bench_table1_hpl_accuracy_calu(benchmark, attach_rows):
+    rows = benchmark.pedantic(table1.run, rounds=1, iterations=1)
+    # Every configuration must pass the HPL criterion, as in the paper.
+    assert all(r["hpl_passed"] for r in rows)
+    assert all(r["tau_min"] > 0.1 for r in rows)
+    attach_rows(benchmark, rows)
+    print("\n" + format_table(rows, columns=["n", "P", "b", "gT", "tau_ave", "tau_min",
+                                             "wb", "HPL1", "HPL2", "HPL3"],
+                              title="Table 1 (scaled sizes): ca-pivoting accuracy"))

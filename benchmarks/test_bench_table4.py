@@ -1,0 +1,21 @@
+"""Benchmark / regeneration of Table 4: PDGETF2 / TSLU time ratio on Cray XT4."""
+
+from __future__ import annotations
+
+
+
+from repro.experiments import format_table, panel_tables
+
+
+def test_bench_table4_panel_ratio_xt4(benchmark, attach_rows):
+    rows = benchmark(panel_tables.run_table4)
+    assert rows
+    large = [r for r in rows if r["m"] >= 100_000]
+    assert all(r["ratio_rec"] > 1.0 for r in large)
+    attach_rows(benchmark, rows, keys=["m", "n=b", "P", "ratio_rec", "ratio_cl"])
+    best = panel_tables.best_improvement(rows)
+    benchmark.extra_info["best"] = {k: float(v) for k, v in best.items()}
+    print("\n" + format_table(rows, columns=["m", "n=b", "P", "ratio_rec", "ratio_cl",
+                                             "tslu_gflops_rec"],
+                              title="Table 4 (model): PDGETF2/TSLU, Cray XT4"))
+    print(f"best improvement: {best}  (paper: 5.58 at m=1e6, n=150, P=4)")

@@ -1,0 +1,21 @@
+"""Benchmark / regeneration of Table 5: PDGETRF / CALU on IBM POWER5."""
+
+from __future__ import annotations
+
+
+
+from repro.experiments import factorization_tables, format_table
+
+
+def test_bench_table5_calu_vs_pdgetrf_power5(benchmark, attach_rows):
+    rows = benchmark(factorization_tables.run_table5)
+    assert rows
+    # Shape claims of the paper's Table 5: CALU never loses badly, and the
+    # improvement is largest for the small matrix on many processors.
+    assert all(r["improvement"] > 0.9 for r in rows)
+    small = [r for r in rows if r["m"] == 1_000 and r["P"] == 32]
+    assert all(r["improvement"] > 1.2 for r in small)
+    attach_rows(benchmark, rows, keys=["m", "b", "P", "improvement", "calu_gflops"])
+    print("\n" + format_table(rows, columns=["m", "b", "P", "grid", "improvement",
+                                             "calu_gflops", "percent_peak"],
+                              title="Table 5 (model): PDGETRF/CALU, IBM POWER5"))

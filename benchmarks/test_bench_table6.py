@@ -1,0 +1,17 @@
+"""Benchmark / regeneration of Table 6: PDGETRF / CALU on Cray XT4."""
+
+from __future__ import annotations
+
+
+
+from repro.experiments import factorization_tables, format_table
+
+
+def test_bench_table6_calu_vs_pdgetrf_xt4(benchmark, attach_rows):
+    rows = benchmark(factorization_tables.run_table6)
+    assert rows
+    assert all(r["improvement"] > 0.9 for r in rows)
+    attach_rows(benchmark, rows, keys=["m", "b", "P", "improvement", "calu_gflops"])
+    print("\n" + format_table(rows, columns=["m", "b", "P", "grid", "improvement",
+                                             "calu_gflops", "percent_peak"],
+                              title="Table 6 (model): PDGETRF/CALU, Cray XT4"))

@@ -1,0 +1,24 @@
+"""Benchmark / regeneration of Table 7: best CALU vs best PDGETRF speedups."""
+
+from __future__ import annotations
+
+
+
+from repro.experiments import factorization_tables, format_table
+
+
+def test_bench_table7_best_vs_best(benchmark, attach_rows):
+    rows = benchmark(factorization_tables.run_table7)
+    assert rows
+    for r in rows:
+        assert r["speedup"] >= 1.0
+    # Paper's shape: speedup decreases as the matrix gets larger.
+    for machine in {r["machine"] for r in rows}:
+        series = [r["speedup"] for r in rows if r["machine"] == machine]
+        assert series == sorted(series, reverse=True)
+    attach_rows(benchmark, rows)
+    print("\n" + format_table(rows, columns=["machine", "m", "speedup", "calu_gflops",
+                                             "calu_P", "calu_b", "calu_percent_peak",
+                                             "pdgetrf_gflops"],
+                              title="Table 7 (model): best CALU vs best PDGETRF"))
+    print("paper: speedups 1.59/1.69/1.34 (POWER5) and 1.53/1.26/1.31 (XT4)")

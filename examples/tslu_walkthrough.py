@@ -1,0 +1,41 @@
+#!/usr/bin/env python
+"""Walk through the paper's Figure 1: TSLU on a 16 x 2 matrix over 4 processes.
+
+Replays the tournament round by round on the exact matrix printed in Section 3
+of the paper, shows which candidate rows survive each round, and confirms that
+the final pivots coincide with those of Gaussian elimination with partial
+pivoting.  Then it runs the *distributed* TSLU on the virtual-MPI simulator
+and reports how many messages each rank sent (log2 P = 2).
+
+Run with::
+
+    python examples/tslu_walkthrough.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.experiments import figure1
+from repro.machines import unit_machine
+from repro.parallel import ptslu
+from repro.randmat import figure1_matrix
+
+
+def main() -> None:
+    result = figure1.run()
+    print(figure1.describe(result))
+
+    print("\nDistributed TSLU on the virtual MPI (4 ranks, block-cyclic rows):")
+    A = figure1_matrix()
+    run = ptslu(A, nprocs=4, layout="block_cyclic", block_size=2, machine=unit_machine())
+    print(f"  winners (0-based global rows)   : {run.winners.tolist()}")
+    print(f"  messages sent per rank          : "
+          f"{[t.messages_sent for t in run.trace.ranks]}  (log2 P = 2)")
+    print(f"  words sent per rank             : {[t.words_sent for t in run.trace.ranks]}")
+    err = np.max(np.abs(A[run.perm, :] - run.L @ run.U))
+    print(f"  ||PA - LU||_max                 : {err:.2e}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,45 @@
+"""The paper's primary contribution: ca-pivoting, TSLU and CALU.
+
+Sequential-semantics implementations live here (identical numerics to the
+distributed versions); the SPMD versions that additionally model the
+communication are in :mod:`repro.parallel`.
+"""
+
+from .calu import CALUResult, calu, factorization_error, reconstruct
+from .solve import (
+    SolveResult,
+    calu_solve,
+    componentwise_backward_error,
+    lu_solve,
+    solve_with_refinement,
+)
+from .tournament import (
+    CandidateSet,
+    TournamentResult,
+    local_candidates,
+    merge_candidates,
+    partition_rows,
+    tournament_pivoting,
+)
+from .tslu import TSLUResult, tslu, tslu_partial_pivoting_reference
+
+__all__ = [
+    "calu",
+    "CALUResult",
+    "reconstruct",
+    "factorization_error",
+    "tslu",
+    "TSLUResult",
+    "tslu_partial_pivoting_reference",
+    "tournament_pivoting",
+    "TournamentResult",
+    "CandidateSet",
+    "local_candidates",
+    "merge_candidates",
+    "partition_rows",
+    "lu_solve",
+    "solve_with_refinement",
+    "calu_solve",
+    "componentwise_backward_error",
+    "SolveResult",
+]

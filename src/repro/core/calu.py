@@ -1,0 +1,209 @@
+"""CALU: communication-avoiding LU factorization of a dense matrix.
+
+The block right-looking driver of Section 2 / Section 4 of the paper, in its
+sequential-semantics form: the matrix is traversed by block-columns of width
+``b``; each panel is factored with TSLU (ca-pivoting over ``Pr`` row blocks),
+the pivot rows are swapped across the whole matrix, the ``U`` block-row is
+obtained from a triangular solve, and the trailing matrix receives the usual
+Schur-complement update.
+
+Because ca-pivoting is the only thing that distinguishes CALU from the classic
+blocked factorization *numerically*, this sequential version produces exactly
+the factors, permutations and growth behaviour the distributed code would —
+it is therefore the engine behind the stability experiments (Tables 1-2,
+Figure 2), while :mod:`repro.parallel.pcalu` adds the communication structure
+on top of the same building blocks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+import numpy as np
+
+from ..kernels.flops import FlopCounter
+from ..kernels.gemm import gemm_update
+from ..kernels.pivoting import invert_perm
+from ..kernels.trsm import trsm_lower_unit
+from .tslu import tslu
+
+
+@dataclass
+class CALUResult:
+    """Factors produced by CALU.
+
+    Attributes
+    ----------
+    L:
+        ``m x k`` unit-lower-trapezoidal factor, ``k = min(m, n)``.
+    U:
+        ``k x n`` upper-trapezoidal factor.
+    perm:
+        Row permutation with ``A[perm, :] = L @ U`` (up to rounding).
+    growth_history:
+        Maximum absolute entry of the working matrix after each panel step
+        (only populated when requested) — feeds the growth factor g_T.
+    threshold_history:
+        Concatenated per-column pivot thresholds (pivot magnitude divided by
+        the column maximum at elimination time) over all panels — feeds the
+        τ_min / τ_ave columns of Table 1 and Figure 2 (right).
+    flops:
+        Arithmetic performed (muladds, divides, comparisons).
+    panel_width:
+        The block size ``b`` used.
+    nblocks:
+        The number of row blocks ``Pr`` used by the panel tournaments.
+    """
+
+    L: np.ndarray
+    U: np.ndarray
+    perm: np.ndarray
+    growth_history: List[float] = field(default_factory=list)
+    threshold_history: np.ndarray = field(default_factory=lambda: np.empty(0))
+    flops: FlopCounter = field(default_factory=FlopCounter)
+    panel_width: int = 0
+    nblocks: int = 1
+
+
+def calu(
+    A: np.ndarray,
+    block_size: int,
+    nblocks: int,
+    schedule: str = "binary",
+    local_kernel: str = "getf2",
+    partition: str = "block_cyclic",
+    track_growth: bool = False,
+    compute_thresholds: bool = False,
+) -> CALUResult:
+    """Factor ``A`` with communication-avoiding LU (ca-pivoting panels).
+
+    Parameters
+    ----------
+    A:
+        ``m x n`` dense matrix (``m >= n``; square in all the paper's
+        experiments).
+    block_size:
+        Panel width ``b`` of the 2-D block-cyclic distribution.
+    nblocks:
+        Number of row blocks ``Pr`` over which each panel's tournament is
+        played.  From the point of view of numerical behaviour only ``Pr``
+        matters (paper, Section 6.1), so this is the "P" of Tables 1-2.
+    schedule, local_kernel, partition:
+        Passed to :func:`repro.core.tslu.tslu` (tournament schedule, leaf
+        kernel, row-partitioning scheme).
+    track_growth:
+        Record the growth history needed for the growth factor g_T.
+    compute_thresholds:
+        Record per-column pivot thresholds (needed for τ_min / τ_ave).
+
+    Returns
+    -------
+    CALUResult
+
+    Notes
+    -----
+    When ``block_size >= n`` or ``nblocks == 1`` the pivot choice reduces to
+    ordinary partial pivoting on each panel, which is the paper's claim that
+    ca-pivoting "is equivalent to partial pivoting when b = 1 or P = 1" (the
+    b = 1 case makes every tournament a max-magnitude selection).
+    """
+    A = np.array(A, dtype=np.float64)
+    if A.ndim != 2:
+        raise ValueError("calu expects a 2-D matrix")
+    m, n = A.shape
+    if m < n:
+        raise ValueError("calu requires m >= n (factor A or its transpose accordingly)")
+    if block_size < 1:
+        raise ValueError("block_size must be >= 1")
+    if nblocks < 1:
+        raise ValueError("nblocks must be >= 1")
+
+    b = min(block_size, n)
+    flops = FlopCounter()
+    # Global permutation accumulated panel by panel: perm[i] = original row of
+    # the row currently stored at position i of the working matrix.
+    perm = np.arange(m, dtype=np.int64)
+    growth: List[float] = []
+    thresholds: List[np.ndarray] = []
+
+    for j in range(0, n, b):
+        jb = min(b, n - j)
+        panel = A[j:, j : j + jb]
+
+        pres = tslu(
+            panel,
+            nblocks=nblocks,
+            flops=flops,
+            schedule=schedule,
+            local_kernel=local_kernel,
+            partition=partition,
+            block_size=jb,
+            compute_thresholds=compute_thresholds,
+        )
+        if compute_thresholds:
+            thresholds.append(pres.threshold_history)
+
+        # Apply the panel permutation to the whole working matrix (rows j..m)
+        # and to the global permutation bookkeeping.
+        local_perm = pres.perm  # permutation of the active rows (0-based in panel)
+        global_rows = np.arange(j, m, dtype=np.int64)
+        permuted_rows = global_rows[local_perm]
+        A[j:, :] = A[permuted_rows, :]
+        perm[j:] = perm[permuted_rows]
+
+        # Store the panel factors in packed form: U on and above the diagonal,
+        # the strictly-lower part of L below it (unit diagonal implicit).
+        k = min(panel.shape[0], jb)
+        packed = np.zeros((m - j, jb))
+        packed[:, :k] = np.tril(pres.L, -1)
+        packed[:k, :] += pres.U[:k, :]
+        A[j:, j : j + jb] = packed
+
+        if j + jb < n:
+            # Block-row of U: U12 = L11^{-1} A12.
+            L11 = np.tril(pres.L[:jb, :jb], -1) + np.eye(jb)
+            A[j : j + jb, j + jb :] = trsm_lower_unit(
+                L11, A[j : j + jb, j + jb :], flops=flops
+            )
+            # Trailing update: A22 -= L21 @ U12.
+            if j + jb < m:
+                gemm_update(
+                    A[j + jb :, j + jb :],
+                    pres.L[jb:, :],
+                    A[j : j + jb, j + jb :],
+                    flops=flops,
+                )
+        if track_growth:
+            growth.append(float(np.max(np.abs(A))))
+
+    k = min(m, n)
+    L = np.tril(A[:, :k], -1)
+    np.fill_diagonal(L, 1.0)
+    U = np.triu(A[:k, :])
+    return CALUResult(
+        L=L,
+        U=U,
+        perm=perm,
+        growth_history=growth,
+        threshold_history=np.concatenate(thresholds) if thresholds else np.empty(0),
+        flops=flops,
+        panel_width=b,
+        nblocks=nblocks,
+    )
+
+
+def reconstruct(result: CALUResult) -> np.ndarray:
+    """Rebuild the original matrix from a :class:`CALUResult` (verification aid)."""
+    PA = result.L @ result.U
+    return PA[invert_perm(result.perm), :]
+
+
+def factorization_error(A: np.ndarray, result: CALUResult) -> float:
+    """Relative backward error ``||A[perm] - L U||_inf / ||A||_inf``."""
+    A = np.asarray(A, dtype=np.float64)
+    residual = A[result.perm, :] - result.L @ result.U
+    denom = np.linalg.norm(A, np.inf)
+    if denom == 0.0:
+        return float(np.linalg.norm(residual, np.inf))
+    return float(np.linalg.norm(residual, np.inf) / denom)

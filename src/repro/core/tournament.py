@@ -1,0 +1,338 @@
+"""ca-pivoting: tournament selection of panel pivot rows.
+
+The heart of CALU (Section 2 of the paper) is a *tournament* that selects
+``b`` pivot rows for an ``m x b`` panel using a reduction tree:
+
+1. the panel's rows are split into ``P`` row blocks (one per process in the
+   parallel algorithm);
+2. each block performs an LU factorization with partial pivoting and keeps its
+   ``b`` pivot rows as its *candidates*;
+3. pairs of candidate sets are repeatedly merged: the two ``b x b`` candidate
+   blocks are stacked into a ``2b x b`` matrix, factored with partial
+   pivoting, and the ``b`` pivot rows of that factorization are the winners of
+   the pair;
+4. after ``log2(P)`` rounds a single set of ``b`` global pivot rows remains;
+   the ``U`` factor computed at the root of the tree is the ``U11`` factor of
+   the panel.
+
+This module implements the reduction in a scheduling-agnostic way so the same
+code drives the sequential algorithm (:mod:`repro.core.tslu`), the SPMD
+algorithm (:mod:`repro.parallel.ptslu`), and the ablation benchmarks that
+compare flat, binary-tree and butterfly schedules.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..kernels.flops import FlopCounter
+from ..kernels.getf2 import getf2
+from ..kernels.rgetf2 import rgetf2
+
+#: The local factorization kernels selectable for the leaf step (the paper's
+#: "Cl" = classic DGETF2 and "Rec" = recursive RGETF2 configurations).
+LOCAL_KERNELS: dict = {"getf2": getf2, "rgetf2": rgetf2}
+
+
+@dataclass
+class CandidateSet:
+    """A set of candidate pivot rows produced at a node of the tournament tree.
+
+    Attributes
+    ----------
+    rows:
+        Global row indices of the candidates, in the order chosen by the
+        factorization at this node (pivot order).
+    block:
+        The candidate rows themselves, a ``k x b`` matrix with ``k <= b``
+        (fewer than ``b`` only when the whole panel has fewer than ``b``
+        rows).
+    """
+
+    rows: np.ndarray
+    block: np.ndarray
+
+    def __post_init__(self) -> None:
+        self.rows = np.asarray(self.rows, dtype=np.int64)
+        self.block = np.asarray(self.block, dtype=np.float64)
+        if self.rows.shape[0] != self.block.shape[0]:
+            raise ValueError("candidate rows and block must have matching length")
+
+
+@dataclass
+class TournamentResult:
+    """Outcome of a full tournament on one panel.
+
+    Attributes
+    ----------
+    winners:
+        Global indices of the ``b`` selected pivot rows, in the pivot order of
+        the root factorization (the order in which they must be placed at the
+        top of the panel).
+    U:
+        The ``b x b`` upper-triangular factor computed at the root of the
+        tree; this is the ``U11`` factor of the panel's LU factorization.
+    rounds:
+        Number of reduction rounds performed (tree depth, excluding the local
+        leaf factorizations).
+    """
+
+    winners: np.ndarray
+    U: np.ndarray
+    rounds: int
+
+
+def local_candidates(
+    rows: np.ndarray,
+    block: np.ndarray,
+    b: int,
+    flops: Optional[FlopCounter] = None,
+    local_kernel: str = "getf2",
+) -> CandidateSet:
+    """Leaf step of the tournament: select up to ``b`` candidate rows of one block.
+
+    Parameters
+    ----------
+    rows:
+        Global indices of the block's rows.
+    block:
+        The block's entries (``len(rows) x b``).
+    b:
+        Panel width.
+    flops:
+        Optional flop counter charged with the local factorization.
+    local_kernel:
+        ``"getf2"`` or ``"rgetf2"`` — which sequential LU performs the local
+        factorization (the paper's Cl/Rec configurations).
+    """
+    rows = np.asarray(rows, dtype=np.int64)
+    block = np.asarray(block, dtype=np.float64)
+    if block.ndim != 2 or block.shape[0] != rows.shape[0]:
+        raise ValueError("block shape must match the number of row indices")
+    k = min(b, block.shape[0])
+    if block.shape[0] == 0:
+        return CandidateSet(rows=rows[:0], block=block[:0])
+    kernel = LOCAL_KERNELS[local_kernel]
+    if local_kernel == "rgetf2" and block.shape[0] < block.shape[1]:
+        # The recursive kernel requires a tall block; fall back for stubs.
+        kernel = getf2
+    res = kernel(block, flops=flops)
+    chosen = res.perm[:k]
+    return CandidateSet(rows=rows[chosen], block=block[chosen, :])
+
+
+def merge_candidates(
+    a: CandidateSet,
+    b_set: CandidateSet,
+    b: int,
+    flops: Optional[FlopCounter] = None,
+) -> Tuple[CandidateSet, np.ndarray]:
+    """Internal tournament node: merge two candidate sets.
+
+    The two candidate blocks are stacked (``a`` on top of ``b_set``) and
+    factored with partial pivoting; the first ``b`` pivot rows win.
+
+    Returns
+    -------
+    (winner, U):
+        ``winner`` is the merged :class:`CandidateSet`; ``U`` is the upper
+        triangular factor of the stacked factorization (needed at the root of
+        the tree, where it becomes the panel's ``U11``).
+    """
+    stacked = np.vstack([a.block, b_set.block])
+    all_rows = np.concatenate([a.rows, b_set.rows])
+    if stacked.shape[0] == 0:
+        return CandidateSet(rows=all_rows, block=stacked), np.zeros((0, 0))
+    res = getf2(stacked, flops=flops)
+    k = min(b, stacked.shape[0])
+    chosen = res.perm[:k]
+    winner = CandidateSet(rows=all_rows[chosen], block=stacked[chosen, :])
+    kk = min(stacked.shape[0], stacked.shape[1])
+    U = np.triu(res.lu[:kk, :])
+    return winner, U
+
+
+def tournament_pivoting(
+    blocks: Sequence[Tuple[np.ndarray, np.ndarray]],
+    b: int,
+    flops: Optional[FlopCounter] = None,
+    schedule: str = "binary",
+    local_kernel: str = "getf2",
+) -> TournamentResult:
+    """Run the full ca-pivoting tournament over a partitioned panel.
+
+    Parameters
+    ----------
+    blocks:
+        Sequence of ``(global_row_indices, block)`` pairs — one per virtual
+        process; together they must cover the panel's rows exactly once.
+    b:
+        Panel width (number of pivots to select).
+    flops:
+        Optional flop counter.
+    schedule:
+        Reduction schedule:
+
+        * ``"binary"`` — binary reduction tree (depth ``ceil(log2 P)``), the
+          schedule analysed in the paper;
+        * ``"flat"`` — sequential left fold (depth ``P - 1``); same winners in
+          exact arithmetic for the same pairings order, more rounds;
+        * ``"butterfly"`` — all-reduction schedule; every leaf ends with the
+          winners.  Sequentially this performs the redundant work of the
+          parallel butterfly and is provided for the ablation study.
+    local_kernel:
+        Kernel for the leaf factorizations (``"getf2"`` or ``"rgetf2"``).
+
+    Returns
+    -------
+    TournamentResult
+    """
+    if b < 1:
+        raise ValueError("panel width b must be >= 1")
+    if len(blocks) == 0:
+        raise ValueError("tournament needs at least one row block")
+    candidates = [
+        local_candidates(rows, block, b, flops=flops, local_kernel=local_kernel)
+        for rows, block in blocks
+    ]
+    # Drop empty blocks (they can appear when m is not a multiple of P*b).
+    candidates = [c for c in candidates if c.rows.shape[0] > 0]
+    if not candidates:
+        raise ValueError("all row blocks are empty")
+
+    if schedule == "flat":
+        return _flat_reduce(candidates, b, flops)
+    if schedule == "binary":
+        return _binary_reduce(candidates, b, flops)
+    if schedule == "butterfly":
+        return _butterfly_reduce(candidates, b, flops)
+    raise ValueError(f"unknown tournament schedule {schedule!r}")
+
+
+def _flat_reduce(
+    candidates: List[CandidateSet], b: int, flops: Optional[FlopCounter]
+) -> TournamentResult:
+    if len(candidates) == 1:
+        return _binary_reduce(candidates, b, flops)
+    acc = candidates[0]
+    U = None
+    rounds = 0
+    for nxt in candidates[1:]:
+        acc, U = merge_candidates(acc, nxt, b, flops=flops)
+        rounds += 1
+    return TournamentResult(winners=acc.rows, U=U[: acc.rows.shape[0], :], rounds=rounds)
+
+
+def _binary_reduce(
+    candidates: List[CandidateSet], b: int, flops: Optional[FlopCounter]
+) -> TournamentResult:
+    level = list(candidates)
+    U = None
+    rounds = 0
+    while len(level) > 1:
+        nxt: List[CandidateSet] = []
+        rounds += 1
+        for i in range(0, len(level) - 1, 2):
+            merged, U = merge_candidates(level[i], level[i + 1], b, flops=flops)
+            nxt.append(merged)
+        if len(level) % 2 == 1:
+            nxt.append(level[-1])
+        level = nxt
+    winner = level[0]
+    if U is None:
+        # Single block: its own factorization provides U.
+        res = getf2(winner.block, flops=flops)
+        U = np.triu(res.lu)
+        winner = CandidateSet(rows=winner.rows[res.perm], block=winner.block[res.perm])
+    return TournamentResult(
+        winners=winner.rows, U=U[: winner.rows.shape[0], :], rounds=rounds
+    )
+
+
+def _butterfly_reduce(
+    candidates: List[CandidateSet], b: int, flops: Optional[FlopCounter]
+) -> TournamentResult:
+    """All-reduction schedule: every participant redundantly merges at each level.
+
+    Mirrors the communication pattern of the parallel TSLU; sequentially the
+    redundant merges are executed too (that is exactly the extra work the
+    paper trades for fewer messages).
+    """
+    p = len(candidates)
+    if p == 1:
+        return _binary_reduce(candidates, b, flops)
+    # Pad to a power of two by replicating the last candidate set; the
+    # replicas never win over their originals because ties keep the first row.
+    pow2 = 1
+    while pow2 < p:
+        pow2 *= 2
+    padded = list(candidates) + [candidates[-1]] * (pow2 - p)
+    current = padded
+    rounds = 0
+    U = None
+    k = 1
+    while k < pow2:
+        rounds += 1
+        nxt = []
+        for i in range(pow2):
+            partner = i ^ k
+            lo, hi = (i, partner) if i < partner else (partner, i)
+            merged, U = merge_candidates(current[lo], current[hi], b, flops=flops)
+            nxt.append(merged)
+        current = nxt
+        k *= 2
+    winner = current[0]
+    return TournamentResult(
+        winners=winner.rows, U=U[: winner.rows.shape[0], :], rounds=rounds
+    )
+
+
+def partition_rows(
+    m: int,
+    nblocks: int,
+    scheme: str = "contiguous",
+    block: int = 1,
+    row_indices: Optional[np.ndarray] = None,
+) -> List[np.ndarray]:
+    """Partition ``m`` panel rows into ``nblocks`` groups.
+
+    Parameters
+    ----------
+    m:
+        Number of rows (ignored if ``row_indices`` is given).
+    nblocks:
+        Number of groups (virtual processes).
+    scheme:
+        ``"contiguous"`` — equal contiguous chunks (the layout in the paper's
+        Section 2 description); ``"block_cyclic"`` — round-robin blocks of
+        ``block`` rows (the layout induced by the 2-D block-cyclic
+        distribution, used by CALU and by Figure 1).
+    block:
+        Block size for the block-cyclic scheme.
+    row_indices:
+        Optional explicit global indices of the panel's rows (they may be a
+        subset of a larger matrix); defaults to ``0..m-1``.
+
+    Returns
+    -------
+    list of numpy.ndarray
+        One array of global row indices per group (possibly empty).
+    """
+    rows = (
+        np.arange(m, dtype=np.int64)
+        if row_indices is None
+        else np.asarray(row_indices, dtype=np.int64)
+    )
+    m = rows.shape[0]
+    if nblocks < 1:
+        raise ValueError("nblocks must be >= 1")
+    if scheme == "contiguous":
+        chunk = -(-m // nblocks)
+        return [rows[i * chunk : (i + 1) * chunk] for i in range(nblocks)]
+    if scheme == "block_cyclic":
+        positions = np.arange(m, dtype=np.int64)
+        return [rows[(positions // block) % nblocks == p] for p in range(nblocks)]
+    raise ValueError(f"unknown partition scheme {scheme!r}")

@@ -1,0 +1,5 @@
+"""Machine-independent cost ledgers and pricing helpers."""
+
+from .accounting import CostLedger
+
+__all__ = ["CostLedger"]

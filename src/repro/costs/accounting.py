@@ -1,0 +1,124 @@
+"""Machine-independent cost ledgers.
+
+The analytic models of the paper (Equations 1-3) express an algorithm's cost
+as four numbers per process on the critical path: multiply/add flops,
+divisions, messages and words — with messages and words split between the
+process-column network and the process-row network.  :class:`CostLedger`
+holds exactly those terms, can be priced under any
+:class:`~repro.machines.model.MachineModel`, and supports the arithmetic
+needed to combine contributions from the different phases of an algorithm.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict
+
+from ..machines.model import MachineModel
+
+
+@dataclass
+class CostLedger:
+    """Per-process critical-path cost of an algorithm phase.
+
+    Attributes
+    ----------
+    muladds, divides:
+        Arithmetic on the critical path (the paper's ``γ`` and ``γ_d`` terms).
+    messages_col, words_col:
+        Messages and 8-byte words communicated within a process column
+        (priced with ``α_c``/``β_c``).
+    messages_row, words_row:
+        Messages and words within a process row (priced with ``α_r``/``β_r``).
+    messages_any, words_any:
+        Communication that is not attributed to either network (priced with
+        the default ``α``/``β``).
+    label:
+        Free-form description used in reports.
+    """
+
+    muladds: float = 0.0
+    divides: float = 0.0
+    messages_col: float = 0.0
+    words_col: float = 0.0
+    messages_row: float = 0.0
+    words_row: float = 0.0
+    messages_any: float = 0.0
+    words_any: float = 0.0
+    label: str = ""
+
+    # ------------------------------------------------------------ arithmetic
+    def __add__(self, other: "CostLedger") -> "CostLedger":
+        return CostLedger(
+            muladds=self.muladds + other.muladds,
+            divides=self.divides + other.divides,
+            messages_col=self.messages_col + other.messages_col,
+            words_col=self.words_col + other.words_col,
+            messages_row=self.messages_row + other.messages_row,
+            words_row=self.words_row + other.words_row,
+            messages_any=self.messages_any + other.messages_any,
+            words_any=self.words_any + other.words_any,
+            label=self.label or other.label,
+        )
+
+    def scaled(self, factor: float) -> "CostLedger":
+        """Return this ledger with every term multiplied by ``factor``."""
+        return CostLedger(
+            muladds=self.muladds * factor,
+            divides=self.divides * factor,
+            messages_col=self.messages_col * factor,
+            words_col=self.words_col * factor,
+            messages_row=self.messages_row * factor,
+            words_row=self.words_row * factor,
+            messages_any=self.messages_any * factor,
+            words_any=self.words_any * factor,
+            label=self.label,
+        )
+
+    # -------------------------------------------------------------- totals
+    @property
+    def total_messages(self) -> float:
+        """Messages over all channels."""
+        return self.messages_col + self.messages_row + self.messages_any
+
+    @property
+    def total_words(self) -> float:
+        """Words over all channels."""
+        return self.words_col + self.words_row + self.words_any
+
+    @property
+    def total_flops(self) -> float:
+        """Arithmetic operations (muladds + divides)."""
+        return self.muladds + self.divides
+
+    # ------------------------------------------------------------- pricing
+    def time(self, machine: MachineModel) -> float:
+        """Evaluate the ledger under a machine model (seconds)."""
+        t = machine.compute_time(self.muladds, self.divides)
+        t += self.messages_col * machine.latency("col")
+        t += self.words_col * machine.inv_bandwidth("col")
+        t += self.messages_row * machine.latency("row")
+        t += self.words_row * machine.inv_bandwidth("row")
+        t += self.messages_any * machine.latency("any")
+        t += self.words_any * machine.inv_bandwidth("any")
+        return t
+
+    def breakdown(self, machine: MachineModel) -> Dict[str, float]:
+        """Time split into arithmetic / latency / bandwidth contributions."""
+        arithmetic = machine.compute_time(self.muladds, self.divides)
+        latency = (
+            self.messages_col * machine.latency("col")
+            + self.messages_row * machine.latency("row")
+            + self.messages_any * machine.latency("any")
+        )
+        bandwidth = (
+            self.words_col * machine.inv_bandwidth("col")
+            + self.words_row * machine.inv_bandwidth("row")
+            + self.words_any * machine.inv_bandwidth("any")
+        )
+        return {
+            "arithmetic": arithmetic,
+            "latency": latency,
+            "bandwidth": bandwidth,
+            "total": arithmetic + latency + bandwidth,
+        }

@@ -1,0 +1,38 @@
+"""Virtual message-passing runtime with α-β-γ cost accounting.
+
+This is the stand-in for MPI + a parallel machine: SPMD rank functions run in
+threads, exchange messages through :class:`~repro.distsim.vmpi.Communicator`,
+and every message/word/flop is charged to a per-rank trace priced under a
+:class:`~repro.machines.model.MachineModel`.
+"""
+
+from .collectives import (
+    allgather,
+    allreduce,
+    barrier,
+    broadcast,
+    gather,
+    reduce,
+    scatter,
+)
+from .errors import DeadlockError, RankFailedError, SimulationError
+from .tracing import RankTrace, RunTrace
+from .vmpi import Communicator, payload_words, run_spmd
+
+__all__ = [
+    "Communicator",
+    "run_spmd",
+    "payload_words",
+    "RankTrace",
+    "RunTrace",
+    "SimulationError",
+    "DeadlockError",
+    "RankFailedError",
+    "broadcast",
+    "reduce",
+    "allreduce",
+    "gather",
+    "allgather",
+    "scatter",
+    "barrier",
+]

@@ -1,0 +1,261 @@
+"""Collective operations built from point-to-point messages.
+
+ScaLAPACK's drivers and CALU both rely on broadcasts, reductions and
+all-reductions along rows and columns of the process grid.  The paper's model
+prices each collective over ``P`` processes as ``log2(P)`` communication
+steps; the implementations below use binomial trees (broadcast, reduce,
+gather, scatter) and a recursive-doubling butterfly (all-reduce / all-gather),
+which have exactly that depth, so the simulated critical path matches the
+model's assumption.
+
+All collectives operate over an explicit *group*: an ordered list of world
+ranks.  This is how "the column of the grid holding block-column j" or "the
+process row holding block-row j" are expressed.  Every rank in the group must
+call the collective with the same group (same order); other ranks must not.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, List, Optional, Sequence
+
+from .vmpi import Communicator
+
+
+def _position(comm: Communicator, group: Sequence[int]) -> int:
+    try:
+        return list(group).index(comm.rank)
+    except ValueError as exc:
+        raise ValueError(
+            f"rank {comm.rank} called a collective for group {list(group)} "
+            "it does not belong to"
+        ) from exc
+
+
+def broadcast(
+    comm: Communicator,
+    value: Any,
+    root: int,
+    group: Optional[Sequence[int]] = None,
+    tag: Any = "bcast",
+    channel: str = "any",
+) -> Any:
+    """Binomial-tree broadcast of ``value`` from ``root`` to every rank of ``group``.
+
+    Parameters
+    ----------
+    comm:
+        The calling rank's communicator.
+    value:
+        The payload (significant only on ``root``).
+    root:
+        World rank of the source.
+    group:
+        Ordered list of participating world ranks; defaults to all ranks.
+    tag:
+        Tag namespace for this collective (use distinct tags for concurrent
+        collectives on overlapping groups).
+    channel:
+        Cost channel ("row", "col", "any").
+
+    Returns
+    -------
+    The broadcast value on every rank of the group.
+    """
+    group = list(group) if group is not None else list(range(comm.size))
+    p = len(group)
+    me = _position(comm, group)
+    if p == 1:
+        return value
+    rootpos = group.index(root)
+    # Re-index so the root is position 0.
+    vrank = (me - rootpos) % p
+
+    # Binomial tree: in round k, ranks with vrank < 2**k that have the data
+    # send it to vrank + 2**k.
+    have = vrank == 0
+    received = value if have else None
+    k = 1
+    while k < p:
+        if vrank < k and vrank + k < p:
+            dest = group[(vrank + k + rootpos) % p]
+            comm.send(dest, received, tag=(tag, k), channel=channel)
+        elif k <= vrank < 2 * k:
+            src = group[(vrank - k + rootpos) % p]
+            received = comm.recv(src, tag=(tag, k))
+        k *= 2
+    return received
+
+
+def reduce(
+    comm: Communicator,
+    value: Any,
+    op: Callable[[Any, Any], Any],
+    root: int,
+    group: Optional[Sequence[int]] = None,
+    tag: Any = "reduce",
+    channel: str = "any",
+) -> Optional[Any]:
+    """Binomial-tree reduction to ``root`` with the associative operator ``op``.
+
+    Returns the reduced value on ``root`` and ``None`` elsewhere.  ``op`` is
+    applied as ``op(partial_from_child, own_partial)``; for commutative
+    operators the order is irrelevant.
+    """
+    group = list(group) if group is not None else list(range(comm.size))
+    p = len(group)
+    me = _position(comm, group)
+    rootpos = group.index(root)
+    vrank = (me - rootpos) % p
+
+    acc = value
+    k = 1
+    while k < p:
+        if vrank % (2 * k) == 0:
+            partner = vrank + k
+            if partner < p:
+                src = group[(partner + rootpos) % p]
+                other = comm.recv(src, tag=(tag, k))
+                acc = op(other, acc)
+        elif vrank % (2 * k) == k:
+            dest = group[(vrank - k + rootpos) % p]
+            comm.send(dest, acc, tag=(tag, k), channel=channel)
+            return None if comm.rank != root else acc
+        k *= 2
+    return acc if comm.rank == root else None
+
+
+def allreduce(
+    comm: Communicator,
+    value: Any,
+    op: Callable[[Any, Any], Any],
+    group: Optional[Sequence[int]] = None,
+    tag: Any = "allreduce",
+    channel: str = "any",
+) -> Any:
+    """Butterfly (recursive-doubling) all-reduction.
+
+    Every rank of the group obtains ``op`` applied over all contributions in
+    ``log2(P)`` pairwise-exchange steps.  This is the communication pattern of
+    TSLU itself (with ``op`` = "Gaussian elimination of two stacked b x b
+    blocks"), so the same routine is reused there.
+
+    For non-power-of-two groups the routine folds the excess ranks into the
+    nearest power of two first (one extra step), as standard MPI
+    implementations do.
+    """
+    group = list(group) if group is not None else list(range(comm.size))
+    p = len(group)
+    me = _position(comm, group)
+    if p == 1:
+        return value
+
+    # Largest power of two <= p.
+    pow2 = 1
+    while pow2 * 2 <= p:
+        pow2 *= 2
+    rem = p - pow2
+
+    acc = value
+    # Fold ranks beyond the power-of-two boundary onto their partners.
+    if me >= pow2:
+        dest = group[me - pow2]
+        comm.send(dest, acc, tag=(tag, "fold"), channel=channel)
+    elif me < rem:
+        other = comm.recv(group[me + pow2], tag=(tag, "fold"))
+        acc = op(other, acc)
+
+    if me < pow2:
+        k = 1
+        while k < pow2:
+            partner = me ^ k
+            other = comm.sendrecv(
+                group[partner], acc, tag=(tag, k), channel=channel
+            )
+            # Keep a deterministic order: lower position's contribution first.
+            acc = op(other, acc) if partner < me else op(acc, other)
+            k *= 2
+
+    # Un-fold: send the result back to the folded ranks.
+    if me < rem:
+        comm.send(group[me + pow2], acc, tag=(tag, "unfold"), channel=channel)
+    elif me >= pow2:
+        acc = comm.recv(group[me - pow2], tag=(tag, "unfold"))
+    return acc
+
+
+def gather(
+    comm: Communicator,
+    value: Any,
+    root: int,
+    group: Optional[Sequence[int]] = None,
+    tag: Any = "gather",
+    channel: str = "any",
+) -> Optional[List[Any]]:
+    """Binomial-tree gather; returns the list of contributions (in group order) on ``root``."""
+    def merge(a: dict, b: dict) -> dict:
+        out = dict(b)
+        out.update(a)
+        return out
+
+    me = _position(comm, list(group) if group is not None else list(range(comm.size)))
+    result = reduce(comm, {me: value}, merge, root, group=group, tag=tag, channel=channel)
+    if comm.rank == root and result is not None:
+        return [result[i] for i in sorted(result)]
+    return None
+
+
+def allgather(
+    comm: Communicator,
+    value: Any,
+    group: Optional[Sequence[int]] = None,
+    tag: Any = "allgather",
+    channel: str = "any",
+) -> List[Any]:
+    """Butterfly all-gather; every rank receives the list of contributions in group order."""
+    grp = list(group) if group is not None else list(range(comm.size))
+    me = _position(comm, grp)
+
+    def merge(a: dict, b: dict) -> dict:
+        out = dict(b)
+        out.update(a)
+        return out
+
+    combined = allreduce(comm, {me: value}, merge, group=grp, tag=tag, channel=channel)
+    return [combined[i] for i in sorted(combined)]
+
+
+def scatter(
+    comm: Communicator,
+    values: Optional[Sequence[Any]],
+    root: int,
+    group: Optional[Sequence[int]] = None,
+    tag: Any = "scatter",
+    channel: str = "any",
+) -> Any:
+    """Scatter one element of ``values`` (significant on ``root``) to each group rank.
+
+    Implemented as root-sends (linear), which is how ScaLAPACK distributes
+    small per-process payloads; the latency cost is attributed to the root.
+    """
+    group = list(group) if group is not None else list(range(comm.size))
+    me = _position(comm, group)
+    rootpos = group.index(root)
+    if comm.rank == root:
+        if values is None or len(values) != len(group):
+            raise ValueError("root must supply one value per group member")
+        for pos, dest in enumerate(group):
+            if dest == root:
+                continue
+            comm.send(dest, values[pos], tag=(tag, pos), channel=channel)
+        return values[rootpos]
+    return comm.recv(root, tag=(tag, me))
+
+
+def barrier(
+    comm: Communicator,
+    group: Optional[Sequence[int]] = None,
+    tag: Any = "barrier",
+    channel: str = "any",
+) -> None:
+    """Synchronise all ranks of the group (an all-reduce of nothing)."""
+    allreduce(comm, 0, lambda a, b: 0, group=group, tag=tag, channel=channel)

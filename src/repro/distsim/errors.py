@@ -1,0 +1,29 @@
+"""Exceptions raised by the virtual message-passing runtime."""
+
+from __future__ import annotations
+
+
+class SimulationError(RuntimeError):
+    """Base class for errors raised by the virtual MPI runtime."""
+
+
+class DeadlockError(SimulationError):
+    """A rank waited longer than the configured timeout for a message.
+
+    In a correct SPMD program running under the simulator every receive is
+    eventually matched by a send; a timeout therefore indicates a communication
+    mismatch (wrong tag, wrong peer, or a rank that exited early).
+    """
+
+
+class RankFailedError(SimulationError):
+    """One or more ranks raised an exception during an SPMD run.
+
+    The original exception of the lowest failing rank is chained as the
+    ``__cause__`` of this error.
+    """
+
+    def __init__(self, failures):
+        self.failures = dict(failures)
+        ranks = ", ".join(str(r) for r in sorted(self.failures))
+        super().__init__(f"SPMD ranks failed: {ranks}")

@@ -1,0 +1,40 @@
+"""Experiment harness: one module per table/figure of the paper's evaluation.
+
+============  ======================================================
+Experiment    Module / entry point
+============  ======================================================
+Figure 1      :func:`repro.experiments.figure1.run`
+Figure 2      :func:`repro.experiments.figure2.run`
+Table 1       :func:`repro.experiments.table1.run`
+Table 2       :func:`repro.experiments.table2.run`
+Table 3       :func:`repro.experiments.panel_tables.run_table3`
+Table 4       :func:`repro.experiments.panel_tables.run_table4`
+Table 5       :func:`repro.experiments.factorization_tables.run_table5`
+Table 6       :func:`repro.experiments.factorization_tables.run_table6`
+Table 7       :func:`repro.experiments.factorization_tables.run_table7`
+Validation    :mod:`repro.experiments.validation`
+============  ======================================================
+"""
+
+from . import (
+    factorization_tables,
+    figure1,
+    figure2,
+    panel_tables,
+    table1,
+    table2,
+    validation,
+)
+from .report import format_table, rows_to_csv
+
+__all__ = [
+    "figure1",
+    "figure2",
+    "table1",
+    "table2",
+    "panel_tables",
+    "factorization_tables",
+    "validation",
+    "format_table",
+    "rows_to_csv",
+]

@@ -1,0 +1,85 @@
+"""Tables 5, 6 and 7: PDGETRF / CALU comparisons on the two NERSC machines.
+
+Tables 5-6 report, for square matrices of order 1e3, 5e3 and 1e4, block sizes
+50/100/150 and 4..64 processes (grids 2x2 .. 8x8), the time ratio
+PDGETRF/CALU ("Impvt") and CALU's GFLOP/s.  Table 7 reports the best-CALU vs
+best-PDGETRF speedup when both algorithms are allowed to pick their own best
+(P, b).
+
+The rows are produced by the analytic models (Equations 2 and 3) under the
+calibrated machine models; a validation benchmark checks the models against
+the simulator's measured message counts at small sizes.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+from ..machines.model import MachineModel
+from ..machines.nersc import cray_xt4, ibm_power5
+from ..models.compare import PAPER_GRIDS, best_vs_best, compare_factorization
+
+#: The paper's sweep (Tables 5-6).
+PAPER_ORDERS: Sequence[int] = (1_000, 5_000, 10_000)
+PAPER_BLOCKS: Sequence[int] = (50, 100, 150)
+PAPER_PROC_COUNTS: Sequence[int] = (4, 8, 16, 32, 64)
+
+
+def run(
+    machine: MachineModel,
+    orders: Sequence[int] = PAPER_ORDERS,
+    blocks: Sequence[int] = PAPER_BLOCKS,
+    proc_counts: Sequence[int] = PAPER_PROC_COUNTS,
+) -> List[Dict[str, object]]:
+    """Evaluate the PDGETRF/CALU sweep of Table 5 (POWER5) or 6 (XT4)."""
+    rows: List[Dict[str, object]] = []
+    for m in orders:
+        for b in blocks:
+            for P in proc_counts:
+                Pr, Pc = PAPER_GRIDS[P]
+                if m < Pr * b or m < Pc * b:
+                    # The paper leaves these entries blank (matrix too small).
+                    continue
+                cmp_ = compare_factorization(m, b, Pr, Pc, machine)
+                rows.append(
+                    {
+                        "m": m,
+                        "b": b,
+                        "P": P,
+                        "grid": f"{Pr}x{Pc}",
+                        "improvement": cmp_.ratio,
+                        "calu_gflops": cmp_.calu_gflops,
+                        "percent_peak": cmp_.percent_of_peak(machine),
+                        "t_calu": cmp_.t_calu,
+                        "t_pdgetrf": cmp_.t_pdgetrf,
+                    }
+                )
+    return rows
+
+
+def run_table5(**kwargs) -> List[Dict[str, object]]:
+    """Table 5: PDGETRF/CALU on the IBM POWER5 model."""
+    return run(ibm_power5(), **kwargs)
+
+
+def run_table6(**kwargs) -> List[Dict[str, object]]:
+    """Table 6: PDGETRF/CALU on the Cray XT4 model."""
+    return run(cray_xt4(), **kwargs)
+
+
+def run_table7(
+    machines: Dict[str, MachineModel] | None = None,
+    orders: Sequence[int] = PAPER_ORDERS,
+    proc_counts: Sequence[int] = (8, 16, 32, 64),
+    blocks: Sequence[int] = PAPER_BLOCKS,
+) -> List[Dict[str, object]]:
+    """Table 7: best-CALU vs best-PDGETRF speedups on both machines."""
+    machines = machines or {"ibm_power5": ibm_power5(), "cray_xt4": cray_xt4()}
+    grids: List[Tuple[int, int]] = [PAPER_GRIDS[p] for p in proc_counts]
+    rows: List[Dict[str, object]] = []
+    for name, machine in machines.items():
+        for m in orders:
+            entry = best_vs_best(m, machine, grids, blocks)
+            entry["machine"] = name
+            rows.append(entry)
+    return rows

@@ -1,0 +1,67 @@
+"""Figure 1: the worked TSLU example on a 16 x 2 matrix over 4 processes.
+
+The paper walks the tournament through three rounds on a specific 16 x 2
+matrix distributed block-cyclically (2 x 2 blocks) over 4 processes and notes
+that "the pivot rows used by TSLU happen to be the same as those used by
+Gaussian elimination with partial pivoting".  This module replays the example
+and reports the per-round candidate rows, the final pivots, and the GEPP
+pivots for comparison.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+import numpy as np
+
+from ..core.tournament import local_candidates, merge_candidates, partition_rows
+from ..core.tslu import tslu, tslu_partial_pivoting_reference
+from ..randmat.generators import figure1_matrix
+
+
+def run(schedule: str = "binary") -> Dict[str, object]:
+    """Replay the Figure 1 example; returns the per-round state and final pivots."""
+    A = figure1_matrix()
+    m, b = A.shape
+    nprocs = 4
+    groups = partition_rows(m, nprocs, scheme="block_cyclic", block=2)
+
+    # Round 0: local factorizations.
+    candidates = [local_candidates(g, A[g, :], b) for g in groups]
+    rounds: List[List[List[int]]] = [[c.rows.tolist() for c in candidates]]
+
+    # Rounds 1..log2(P): binary merges (the butterfly performs the same merges
+    # redundantly on every process).
+    level = candidates
+    while len(level) > 1:
+        nxt = []
+        for i in range(0, len(level), 2):
+            merged, _ = merge_candidates(level[i], level[i + 1], b)
+            nxt.append(merged)
+        rounds.append([c.rows.tolist() for c in nxt])
+        level = nxt
+
+    result = tslu(A, nblocks=nprocs, partition="block_cyclic", block_size=2, schedule=schedule)
+    gepp = tslu_partial_pivoting_reference(A)
+    residual = float(np.max(np.abs(A[result.perm, :] - result.L @ result.U)))
+
+    return {
+        "matrix": A,
+        "rounds": rounds,
+        "tslu_pivots": result.winners.tolist(),
+        "gepp_pivots": gepp.tolist(),
+        "pivots_match_gepp": sorted(result.winners.tolist()) == sorted(gepp.tolist()),
+        "factorization_residual": residual,
+    }
+
+
+def describe(result: Dict[str, object]) -> str:
+    """Human-readable transcript of the example (matches the paper's narrative)."""
+    lines = ["Figure 1 — TSLU on the 16 x 2 example over 4 processes"]
+    for level, cand in enumerate(result["rounds"]):
+        lines.append(f"  round {level}: candidate rows per node: {cand}")
+    lines.append(f"  TSLU pivot rows : {result['tslu_pivots']} (0-based)")
+    lines.append(f"  GEPP pivot rows : {result['gepp_pivots']} (0-based)")
+    lines.append(f"  pivots match GEPP: {result['pivots_match_gepp']}")
+    lines.append(f"  ||PA - LU||_max  : {result['factorization_residual']:.2e}")
+    return "\n".join(lines)

@@ -1,0 +1,97 @@
+"""Figure 2: growth factor and minimum threshold versus matrix size.
+
+The paper plots, for standard-normal matrices of order 2^10..2^13 and several
+(P, b) combinations, the average Trefethen-Schreiber growth factor ``g_T`` of
+ca-pivoting (left plot — it tracks ``c · n^(2/3)`` with c ≈ 1.5, like partial
+pivoting) and the minimum pivot threshold (right plot — always above 0.33).
+
+``run`` regenerates both series.  Default sizes are reduced (2^8..2^10) so
+the experiment completes in seconds in pure Python; pass ``sizes=(1024, 2048,
+4096, 8192)`` to match the paper exactly (minutes of runtime).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+import numpy as np
+
+from ..randmat.generators import randn
+from ..stability.report import stability_row_calu, stability_row_gepp
+
+#: (P, b) combinations of the paper's Figure 2, scaled for small default sizes.
+DEFAULT_CONFIGS: Sequence[Tuple[int, int]] = ((4, 16), (4, 32), (8, 16), (8, 32), (16, 16))
+
+
+def run(
+    sizes: Sequence[int] = (256, 512, 1024),
+    configs: Sequence[Tuple[int, int]] = DEFAULT_CONFIGS,
+    samples: int = 2,
+    include_gepp: bool = True,
+    seed: int = 0,
+) -> List[Dict[str, object]]:
+    """Compute growth-factor and threshold series for randn matrices.
+
+    Parameters
+    ----------
+    sizes:
+        Matrix orders ``n``.
+    configs:
+        ``(P, b)`` pairs for ca-pivoting.
+    samples:
+        Number of random samples averaged per point (the paper uses two for
+        the largest sizes).
+    include_gepp:
+        Also compute the partial-pivoting reference curve.
+    seed:
+        Base random seed.
+
+    Returns
+    -------
+    list of dict
+        One row per (n, P, b) with averaged ``gT``, ``tau_min``, ``tau_ave``
+        and the ``n^(2/3)`` reference.
+    """
+    rows: List[Dict[str, object]] = []
+    for n in sizes:
+        for P, b in configs:
+            if b >= n or P * b > n:
+                continue
+            gts, tmins, taves = [], [], []
+            for s in range(samples):
+                A = randn(n, seed=seed + 1000 * s + n)
+                row = stability_row_calu(A, P=P, b=b)
+                gts.append(row.growth)
+                tmins.append(row.tau_min)
+                taves.append(row.tau_ave)
+            rows.append(
+                {
+                    "n": n,
+                    "P": P,
+                    "b": b,
+                    "method": "calu",
+                    "gT": float(np.mean(gts)),
+                    "tau_min": float(np.min(tmins)),
+                    "tau_ave": float(np.mean(taves)),
+                    "n_two_thirds": float(n) ** (2.0 / 3.0),
+                }
+            )
+        if include_gepp:
+            gts = []
+            for s in range(samples):
+                A = randn(n, seed=seed + 1000 * s + n)
+                row = stability_row_gepp(A)
+                gts.append(row.growth)
+            rows.append(
+                {
+                    "n": n,
+                    "P": 1,
+                    "b": n,
+                    "method": "gepp",
+                    "gT": float(np.mean(gts)),
+                    "tau_min": 1.0,
+                    "tau_ave": 1.0,
+                    "n_two_thirds": float(n) ** (2.0 / 3.0),
+                }
+            )
+    return rows

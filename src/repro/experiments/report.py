@@ -1,0 +1,55 @@
+"""Plain-text table formatting for the experiment harness.
+
+Every experiment module returns a list of row dictionaries; these helpers
+render them in the same layout as the paper's tables so the reproduction can
+be compared to the original side by side.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Sequence
+
+
+def format_table(
+    rows: Sequence[Dict[str, object]],
+    columns: Sequence[str] | None = None,
+    floatfmt: str = "{:.4g}",
+    title: str | None = None,
+) -> str:
+    """Render a list of row dicts as an aligned plain-text table."""
+    rows = list(rows)
+    if not rows:
+        return (title + "\n" if title else "") + "(no rows)"
+    if columns is None:
+        columns = list(rows[0].keys())
+
+    def fmt(value: object) -> str:
+        if isinstance(value, float):
+            return floatfmt.format(value)
+        return str(value)
+
+    table = [[fmt(r.get(c, "")) for c in columns] for r in rows]
+    widths = [
+        max(len(str(c)), max(len(row[i]) for row in table)) for i, c in enumerate(columns)
+    ]
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(str(c).ljust(w) for c, w in zip(columns, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in table:
+        lines.append("  ".join(cell.ljust(w) for cell, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def rows_to_csv(rows: Sequence[Dict[str, object]], columns: Sequence[str] | None = None) -> str:
+    """Render row dicts as CSV (for saving experiment outputs)."""
+    rows = list(rows)
+    if not rows:
+        return ""
+    if columns is None:
+        columns = list(rows[0].keys())
+    lines = [",".join(str(c) for c in columns)]
+    for r in rows:
+        lines.append(",".join(str(r.get(c, "")) for c in columns))
+    return "\n".join(lines)

@@ -1,0 +1,52 @@
+"""Sequential dense linear-algebra kernels with explicit flop accounting.
+
+These are the building blocks every higher-level algorithm in the package is
+assembled from: unblocked and recursive panel LU, blocked LU, row swaps,
+triangular solves and matrix-multiply updates.  They correspond to the
+LAPACK/BLAS routines named in the paper (DGETF2, RGETF2, DGETRF, DLASWP,
+DTRSM, DGEMM).
+"""
+
+from .flops import FlopCounter, FlopFormulas
+from .gemm import gemm, gemm_update
+from .getf2 import LUResult, getf2, lu_reconstruct, split_lu
+from .getrf import BlockedLUResult, getrf_blocked, getrf_partial_pivoting
+from .laswp import apply_row_permutation, laswp
+from .pivoting import (
+    apply_ipiv,
+    compose_perms,
+    extend_perm,
+    invert_perm,
+    ipiv_to_perm,
+    is_permutation,
+    perm_to_matrix,
+)
+from .rgetf2 import rgetf2
+from .trsm import trsm_lower_unit, trsm_right_upper, trsm_upper
+
+__all__ = [
+    "FlopCounter",
+    "FlopFormulas",
+    "LUResult",
+    "BlockedLUResult",
+    "getf2",
+    "rgetf2",
+    "getrf_blocked",
+    "getrf_partial_pivoting",
+    "split_lu",
+    "lu_reconstruct",
+    "laswp",
+    "apply_row_permutation",
+    "gemm",
+    "gemm_update",
+    "trsm_lower_unit",
+    "trsm_upper",
+    "trsm_right_upper",
+    "ipiv_to_perm",
+    "perm_to_matrix",
+    "invert_perm",
+    "compose_perms",
+    "extend_perm",
+    "is_permutation",
+    "apply_ipiv",
+]

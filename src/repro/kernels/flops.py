@@ -1,0 +1,122 @@
+"""Floating-point operation accounting.
+
+The paper's cost model (Section 3 and 5) distinguishes three kinds of work:
+
+* ``gamma`` operations: additions and multiplications (time ``γ`` each),
+* ``gamma_d`` operations: divisions (time ``γ_d`` each),
+* communication: messages and words (handled in :mod:`repro.costs`).
+
+Every sequential kernel in :mod:`repro.kernels` accepts an optional
+:class:`FlopCounter` and charges the classic dense linear-algebra flop counts
+to it, so that both the sequential algorithms and the simulated parallel
+algorithms report work in the same currency as Equations (1)-(3) of the paper.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class FlopCounter:
+    """Accumulator for floating-point work.
+
+    Attributes
+    ----------
+    muladds:
+        Number of multiply/add floating point operations (the paper's ``γ``
+        operations).  A fused ``a*b + c`` counts as 2.
+    divides:
+        Number of divisions (the paper's ``γ_d`` operations).
+    comparisons:
+        Number of comparisons performed while searching for pivots.  The
+        paper's model neglects these; we record them anyway because they are
+        useful when validating pivot-search implementations.
+    """
+
+    muladds: float = 0.0
+    divides: float = 0.0
+    comparisons: float = 0.0
+
+    def add_muladds(self, n: float) -> None:
+        """Charge ``n`` multiply/add operations."""
+        self.muladds += float(n)
+
+    def add_divides(self, n: float) -> None:
+        """Charge ``n`` divisions."""
+        self.divides += float(n)
+
+    def add_comparisons(self, n: float) -> None:
+        """Charge ``n`` comparisons (pivot searches)."""
+        self.comparisons += float(n)
+
+    def merge(self, other: "FlopCounter") -> None:
+        """Accumulate the counts of ``other`` into this counter."""
+        self.muladds += other.muladds
+        self.divides += other.divides
+        self.comparisons += other.comparisons
+
+    def copy(self) -> "FlopCounter":
+        """Return an independent copy of this counter."""
+        return FlopCounter(self.muladds, self.divides, self.comparisons)
+
+    @property
+    def total(self) -> float:
+        """Total arithmetic operations (muladds + divides)."""
+        return self.muladds + self.divides
+
+    def reset(self) -> None:
+        """Zero all counters."""
+        self.muladds = 0.0
+        self.divides = 0.0
+        self.comparisons = 0.0
+
+    def __add__(self, other: "FlopCounter") -> "FlopCounter":
+        return FlopCounter(
+            self.muladds + other.muladds,
+            self.divides + other.divides,
+            self.comparisons + other.comparisons,
+        )
+
+
+@dataclass
+class FlopFormulas:
+    """Closed-form flop counts for the dense kernels used in the paper.
+
+    These are the textbook leading-order counts; they are used both to charge
+    analytic models and to sanity-check the counts measured by the kernels.
+    """
+
+    @staticmethod
+    def getf2(m: int, n: int) -> float:
+        """Multiply/adds of unblocked LU with partial pivoting of an m x n matrix."""
+        m = float(m)
+        n = float(n)
+        if m >= n:
+            return m * n * n - n**3 / 3.0
+        # Wide case: eliminate only m-1 columns.
+        return m * m * n - m**3 / 3.0
+
+    @staticmethod
+    def getf2_divides(m: int, n: int) -> float:
+        """Divisions of unblocked LU with partial pivoting of an m x n matrix."""
+        k = min(m, n)
+        # Column j scales (m - j - 1) subdiagonal entries: sum over j.
+        return float(k) * float(m) - float(k) * (float(k) + 1.0) / 2.0
+
+    @staticmethod
+    def trsm(m: int, n: int) -> float:
+        """Multiply/adds of a triangular solve with an m x m triangle and n right-hand sides."""
+        return float(m) * float(m) * float(n)
+
+    @staticmethod
+    def gemm(m: int, n: int, k: int) -> float:
+        """Multiply/adds of C -= A @ B with A m x k and B k x n."""
+        return 2.0 * float(m) * float(n) * float(k)
+
+    @staticmethod
+    def getrf(m: int, n: int) -> float:
+        """Multiply/adds of a full LU factorization of an m x n matrix (m >= n)."""
+        m = float(m)
+        n = float(n)
+        return m * n * n - n**3 / 3.0

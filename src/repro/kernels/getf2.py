@@ -1,0 +1,162 @@
+"""Unblocked LU factorization with partial pivoting (LAPACK ``DGETF2`` analogue).
+
+This is the classic right-looking, column-by-column elimination.  It is used
+
+* as the *local* kernel of TSLU in its "classic" configuration (the ``Cl``
+  columns of Tables 3 and 4 of the paper),
+* at the leaves and internal nodes of the ca-pivoting tournament, where the
+  matrices are small (``2b x b``),
+* as the reference Gaussian elimination with partial pivoting (GEPP) for the
+  stability comparison of Table 2 and Figure 2.
+"""
+
+from __future__ import annotations
+
+from typing import NamedTuple, Optional
+
+import numpy as np
+
+from .flops import FlopCounter
+
+
+class LUResult(NamedTuple):
+    """Result of an in-place LU factorization.
+
+    Attributes
+    ----------
+    lu:
+        The factored matrix: unit-lower-triangular ``L`` below the diagonal
+        (unit diagonal not stored) and ``U`` on and above the diagonal.
+    ipiv:
+        LAPACK-style swap vector of length ``min(m, n)``.
+    perm:
+        Full row permutation of length ``m`` such that ``A[perm, :] = L @ U``.
+    singular:
+        True if a zero pivot was encountered (the factorization is still
+        returned but the corresponding column was not eliminated).
+    """
+
+    lu: np.ndarray
+    ipiv: np.ndarray
+    perm: np.ndarray
+    singular: bool
+
+
+def getf2(
+    A: np.ndarray,
+    flops: Optional[FlopCounter] = None,
+    overwrite: bool = False,
+    track_growth: Optional[list] = None,
+) -> LUResult:
+    """Factor ``A = P^T L U`` using unblocked Gaussian elimination with partial pivoting.
+
+    Parameters
+    ----------
+    A:
+        ``m x n`` real matrix.
+    flops:
+        Optional :class:`~repro.kernels.flops.FlopCounter` charged with the
+        arithmetic performed.
+    overwrite:
+        If True, ``A`` itself is overwritten with the factors; otherwise a
+        copy is made.
+    track_growth:
+        Optional list; if given, the maximum absolute value of the (active
+        part of the) matrix after each elimination step is appended to it.
+        Used by the growth-factor study (Figure 2).
+
+    Returns
+    -------
+    LUResult
+    """
+    A = np.array(A, dtype=np.float64, copy=not overwrite)
+    if A.ndim != 2:
+        raise ValueError("getf2 expects a 2-D array")
+    m, n = A.shape
+    k = min(m, n)
+    ipiv = np.arange(k, dtype=np.int64)
+    singular = False
+
+    for j in range(k):
+        # Pivot search in column j, rows j..m-1.
+        col = A[j:, j]
+        p = int(np.argmax(np.abs(col))) + j
+        ipiv[j] = p
+        if flops is not None:
+            flops.add_comparisons(m - j - 1)
+        if A[p, j] == 0.0:
+            singular = True
+            continue
+        if p != j:
+            A[[j, p], :] = A[[p, j], :]
+        if j < m - 1:
+            # Scale the multipliers.
+            A[j + 1 :, j] /= A[j, j]
+            if flops is not None:
+                flops.add_divides(m - j - 1)
+            # Rank-1 update of the trailing matrix.
+            if j < n - 1:
+                A[j + 1 :, j + 1 :] -= np.outer(A[j + 1 :, j], A[j, j + 1 :])
+                if flops is not None:
+                    flops.add_muladds(2.0 * (m - j - 1) * (n - j - 1))
+        if track_growth is not None:
+            track_growth.append(float(np.max(np.abs(A))))
+
+    from .pivoting import ipiv_to_perm
+
+    perm = ipiv_to_perm(ipiv, m)
+    return LUResult(lu=A, ipiv=ipiv, perm=perm, singular=singular)
+
+
+def getf2_nopivot(
+    A: np.ndarray,
+    flops: Optional[FlopCounter] = None,
+    overwrite: bool = False,
+) -> np.ndarray:
+    """LU factorization *without* pivoting; returns the packed LU array.
+
+    Used for the second phase of ca-pivoting: once the tournament has placed
+    good pivot rows on the diagonal, the block is eliminated in order.  Raises
+    ``ZeroDivisionError`` only implicitly through inf/nan entries — callers
+    that may feed singular blocks should check the diagonal themselves.
+    """
+    A = np.array(A, dtype=np.float64, copy=not overwrite)
+    m, n = A.shape
+    k = min(m, n)
+    for j in range(k):
+        if A[j, j] == 0.0:
+            continue
+        if j < m - 1:
+            A[j + 1 :, j] /= A[j, j]
+            if flops is not None:
+                flops.add_divides(m - j - 1)
+            if j < n - 1:
+                A[j + 1 :, j + 1 :] -= np.outer(A[j + 1 :, j], A[j, j + 1 :])
+                if flops is not None:
+                    flops.add_muladds(2.0 * (m - j - 1) * (n - j - 1))
+    return A
+
+
+def split_lu(lu: np.ndarray, m: Optional[int] = None, n: Optional[int] = None):
+    """Split a packed LU factor into explicit ``L`` (m x k) and ``U`` (k x n).
+
+    ``k = min(m, n)``.  ``L`` has a unit diagonal; ``U`` is upper triangular
+    (upper trapezoidal when ``n > m``).
+    """
+    if m is None or n is None:
+        m, n = lu.shape
+    k = min(m, n)
+    L = np.tril(lu[:, :k], -1)
+    np.fill_diagonal(L, 1.0)
+    U = np.triu(lu[:k, :])
+    return L, U
+
+
+def lu_reconstruct(result: LUResult) -> np.ndarray:
+    """Rebuild ``A`` from an :class:`LUResult` (for verification)."""
+    m, n = result.lu.shape
+    L, U = split_lu(result.lu, m, n)
+    from .pivoting import invert_perm
+
+    PA = L @ U
+    return PA[invert_perm(result.perm), :]

@@ -1,0 +1,58 @@
+"""Row-interchange kernels (LAPACK ``DLASWP`` analogue).
+
+``laswp`` applies a sequence of row swaps produced by a panel factorization to
+the remaining columns of the matrix.  The same operation is performed in
+parallel by :mod:`repro.scalapack.pdlaswp` and by the pivot-application step
+of CALU; this sequential version is the reference used in tests and in the
+sequential drivers.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+
+def laswp(
+    A: np.ndarray,
+    ipiv: np.ndarray,
+    k1: int = 0,
+    k2: Optional[int] = None,
+    offset: int = 0,
+    forward: bool = True,
+) -> np.ndarray:
+    """Apply the row swaps ``ipiv[k1:k2]`` to ``A`` in place.
+
+    Parameters
+    ----------
+    A:
+        The matrix whose rows are interchanged (modified in place).
+    ipiv:
+        Swap vector; ``ipiv[k]`` is exchanged with row ``k + offset`` of ``A``.
+        The values of ``ipiv`` are interpreted relative to ``offset`` as well,
+        matching how a panel factorization reports pivots relative to the top
+        of the panel.
+    k1, k2:
+        Range of swaps to apply (default: all of ``ipiv``).
+    offset:
+        Row of ``A`` corresponding to index 0 of the panel that produced
+        ``ipiv``.
+    forward:
+        Apply in increasing order of ``k`` (True) or reverse (False).
+    """
+    ipiv = np.asarray(ipiv, dtype=np.int64)
+    if k2 is None:
+        k2 = len(ipiv)
+    ks = range(k1, k2) if forward else range(k2 - 1, k1 - 1, -1)
+    for k in ks:
+        r = int(ipiv[k]) + offset
+        kk = k + offset
+        if r != kk:
+            A[[kk, r], :] = A[[r, kk], :]
+    return A
+
+
+def apply_row_permutation(A: np.ndarray, perm: np.ndarray) -> np.ndarray:
+    """Return ``A[perm, :]`` (a copy); convenience wrapper used by drivers."""
+    return np.asarray(A)[np.asarray(perm, dtype=np.int64), :]

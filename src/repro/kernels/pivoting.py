@@ -1,0 +1,111 @@
+"""Permutation and pivot-vector utilities shared by the LU kernels.
+
+Two representations are used throughout the package:
+
+* an *ipiv* vector (LAPACK convention): ``ipiv[k] = r`` means that at step
+  ``k`` row ``k`` was swapped with row ``r`` (``r >= k``);
+* a *permutation* vector ``perm``: ``perm[i]`` is the original index of the
+  row that ends up in position ``i``, i.e. ``PA = A[perm, :]``.
+
+The helpers below convert between the two, compose permutations, and build
+explicit permutation matrices for verification.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def ipiv_to_perm(ipiv: np.ndarray, m: int) -> np.ndarray:
+    """Convert a LAPACK-style swap sequence into a row permutation of length ``m``.
+
+    Parameters
+    ----------
+    ipiv:
+        Sequence of swap targets; ``ipiv[k]`` is swapped with row ``k``.
+    m:
+        Total number of rows of the matrix the swaps act on.
+
+    Returns
+    -------
+    numpy.ndarray
+        Integer vector ``perm`` such that applying the swaps to ``A`` gives
+        ``A[perm, :]``.
+    """
+    perm = np.arange(m, dtype=np.int64)
+    for k, r in enumerate(np.asarray(ipiv, dtype=np.int64)):
+        if r != k:
+            perm[[k, r]] = perm[[r, k]]
+    return perm
+
+
+def perm_to_matrix(perm: np.ndarray) -> np.ndarray:
+    """Return the dense permutation matrix ``P`` with ``P @ A == A[perm, :]``."""
+    perm = np.asarray(perm, dtype=np.int64)
+    m = perm.shape[0]
+    P = np.zeros((m, m))
+    P[np.arange(m), perm] = 1.0
+    return P
+
+
+def invert_perm(perm: np.ndarray) -> np.ndarray:
+    """Return the inverse permutation of ``perm``."""
+    perm = np.asarray(perm, dtype=np.int64)
+    inv = np.empty_like(perm)
+    inv[perm] = np.arange(perm.shape[0], dtype=np.int64)
+    return inv
+
+
+def compose_perms(outer: np.ndarray, inner: np.ndarray) -> np.ndarray:
+    """Compose two permutations: applying ``inner`` first, then ``outer``.
+
+    If ``B = A[inner, :]`` and ``C = B[outer, :]`` then
+    ``C = A[compose_perms(outer, inner), :]``.
+    """
+    inner = np.asarray(inner, dtype=np.int64)
+    outer = np.asarray(outer, dtype=np.int64)
+    return inner[outer]
+
+
+def extend_perm(perm: np.ndarray, m: int, offset: int = 0) -> np.ndarray:
+    """Embed a permutation of a contiguous row range into an identity of size ``m``.
+
+    The rows ``offset .. offset+len(perm)-1`` are permuted according to
+    ``perm`` (whose entries are relative to ``offset``); all other rows are
+    fixed.  This implements the paper's "extended by the appropriate identity
+    matrices" convention for the tournament permutations.
+    """
+    perm = np.asarray(perm, dtype=np.int64)
+    full = np.arange(m, dtype=np.int64)
+    full[offset : offset + perm.shape[0]] = offset + perm
+    return full
+
+
+def is_permutation(perm: np.ndarray) -> bool:
+    """Return True if ``perm`` is a permutation of ``0..len(perm)-1``."""
+    perm = np.asarray(perm)
+    if perm.ndim != 1:
+        return False
+    return np.array_equal(np.sort(perm), np.arange(perm.shape[0]))
+
+
+def apply_ipiv(A: np.ndarray, ipiv: np.ndarray, forward: bool = True) -> np.ndarray:
+    """Apply (or undo) a LAPACK-style swap sequence to the rows of ``A`` in place.
+
+    Parameters
+    ----------
+    A:
+        Matrix whose rows are swapped (modified in place and returned).
+    ipiv:
+        Swap sequence as produced by :func:`repro.kernels.getf2.getf2`.
+    forward:
+        If True apply the swaps in order (k = 0, 1, ...); if False apply them
+        in reverse order, undoing a previous forward application.
+    """
+    ipiv = np.asarray(ipiv, dtype=np.int64)
+    indices = range(len(ipiv)) if forward else range(len(ipiv) - 1, -1, -1)
+    for k in indices:
+        r = ipiv[k]
+        if r != k:
+            A[[k, r], :] = A[[r, k], :]
+    return A

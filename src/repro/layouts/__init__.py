@@ -1,0 +1,7 @@
+"""Data distributions: process grids, 1-D panel layouts, 2-D block-cyclic layout."""
+
+from .block1d import Block1D, BlockCyclic1D
+from .block_cyclic import BlockCyclic2D
+from .grid import ProcessGrid
+
+__all__ = ["ProcessGrid", "Block1D", "BlockCyclic1D", "BlockCyclic2D"]

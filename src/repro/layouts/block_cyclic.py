@@ -1,0 +1,150 @@
+"""Two-dimensional block-cyclic matrix distribution (ScaLAPACK layout).
+
+An ``m x n`` matrix is tiled in ``b x b`` blocks; block ``(I, J)`` is owned by
+the process at grid position ``(I mod Pr, J mod Pc)``.  This is the layout
+used by ScaLAPACK's PDGETRF, by HPL, and by CALU (Section 4 of the paper).
+
+:class:`BlockCyclic2D` provides ownership queries, local/global index maps,
+and scatter/gather helpers that convert between a global numpy array and the
+per-process local arrays.  The distributed drivers in :mod:`repro.parallel`
+and :mod:`repro.scalapack` store their data exclusively in the local arrays
+and use these maps — the global matrix only appears when scattering inputs
+and gathering results for verification, exactly as a real MPI code would do
+through file I/O or redistribution routines.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+import numpy as np
+
+from .grid import ProcessGrid
+
+
+@dataclass(frozen=True)
+class BlockCyclic2D:
+    """2-D block-cyclic distribution of an ``m x n`` matrix with ``b x b`` blocks.
+
+    Attributes
+    ----------
+    m, n:
+        Global matrix dimensions.
+    block:
+        Square block size ``b``.
+    grid:
+        The :class:`~repro.layouts.grid.ProcessGrid` the matrix is mapped to.
+    """
+
+    m: int
+    n: int
+    block: int
+    grid: ProcessGrid
+
+    def __post_init__(self) -> None:
+        if self.m < 0 or self.n < 0 or self.block < 1:
+            raise ValueError("invalid BlockCyclic2D parameters")
+
+    # ----------------------------------------------------------------- owners
+    def owner_of_block(self, brow: int, bcol: int) -> Tuple[int, int]:
+        """Grid coordinates of the owner of block ``(brow, bcol)``."""
+        return brow % self.grid.nprow, bcol % self.grid.npcol
+
+    def owner_of_entry(self, i: int, j: int) -> Tuple[int, int]:
+        """Grid coordinates of the owner of matrix entry ``(i, j)``."""
+        self._check_entry(i, j)
+        return self.owner_of_block(i // self.block, j // self.block)
+
+    def owner_rank(self, i: int, j: int) -> int:
+        """Linear rank of the owner of entry ``(i, j)``."""
+        pr, pc = self.owner_of_entry(i, j)
+        return self.grid.rank(pr, pc)
+
+    # ----------------------------------------------------- local shapes/index
+    def local_rows(self, grid_row: int) -> np.ndarray:
+        """Global row indices stored by processes in grid row ``grid_row``."""
+        rows = np.arange(self.m, dtype=np.int64)
+        return rows[(rows // self.block) % self.grid.nprow == grid_row]
+
+    def local_cols(self, grid_col: int) -> np.ndarray:
+        """Global column indices stored by processes in grid column ``grid_col``."""
+        cols = np.arange(self.n, dtype=np.int64)
+        return cols[(cols // self.block) % self.grid.npcol == grid_col]
+
+    def local_shape(self, rank: int) -> Tuple[int, int]:
+        """Shape of the local array stored by ``rank``."""
+        pr, pc = self.grid.coords(rank)
+        return self.local_rows(pr).shape[0], self.local_cols(pc).shape[0]
+
+    def global_to_local_row(self, i: int) -> int:
+        """Local row index of global row ``i`` on its owning grid row."""
+        blk = i // self.block
+        return int((blk // self.grid.nprow) * self.block + i % self.block)
+
+    def global_to_local_col(self, j: int) -> int:
+        """Local column index of global column ``j`` on its owning grid column."""
+        blk = j // self.block
+        return int((blk // self.grid.npcol) * self.block + j % self.block)
+
+    def local_to_global_row(self, grid_row: int, li: int) -> int:
+        """Global row index of local row ``li`` on grid row ``grid_row``."""
+        blk = li // self.block
+        g = (blk * self.grid.nprow + grid_row) * self.block + li % self.block
+        if g >= self.m:
+            raise ValueError("local row index out of range")
+        return int(g)
+
+    def local_to_global_col(self, grid_col: int, lj: int) -> int:
+        """Global column index of local column ``lj`` on grid column ``grid_col``."""
+        blk = lj // self.block
+        g = (blk * self.grid.npcol + grid_col) * self.block + lj % self.block
+        if g >= self.n:
+            raise ValueError("local column index out of range")
+        return int(g)
+
+    # -------------------------------------------------------- scatter/gather
+    def scatter(self, A: np.ndarray) -> Dict[int, np.ndarray]:
+        """Split a global matrix into the per-rank local arrays.
+
+        Returns a dict mapping linear rank to its local 2-D array (a copy).
+        """
+        A = np.asarray(A)
+        if A.shape != (self.m, self.n):
+            raise ValueError(f"expected a {self.m} x {self.n} matrix, got {A.shape}")
+        locals_: Dict[int, np.ndarray] = {}
+        for rank in range(self.grid.size):
+            pr, pc = self.grid.coords(rank)
+            rows = self.local_rows(pr)
+            cols = self.local_cols(pc)
+            locals_[rank] = np.ascontiguousarray(A[np.ix_(rows, cols)])
+        return locals_
+
+    def gather(self, locals_: Dict[int, np.ndarray], dtype=np.float64) -> np.ndarray:
+        """Reassemble the global matrix from per-rank local arrays."""
+        A = np.zeros((self.m, self.n), dtype=dtype)
+        for rank in range(self.grid.size):
+            pr, pc = self.grid.coords(rank)
+            rows = self.local_rows(pr)
+            cols = self.local_cols(pc)
+            local = locals_[rank]
+            if local.shape != (rows.shape[0], cols.shape[0]):
+                raise ValueError(
+                    f"rank {rank} local array has shape {local.shape}, "
+                    f"expected {(rows.shape[0], cols.shape[0])}"
+                )
+            A[np.ix_(rows, cols)] = local
+        return A
+
+    # -------------------------------------------------------------- utilities
+    def num_block_rows(self) -> int:
+        """Number of block rows ``ceil(m / b)``."""
+        return -(-self.m // self.block)
+
+    def num_block_cols(self) -> int:
+        """Number of block columns ``ceil(n / b)``."""
+        return -(-self.n // self.block)
+
+    def _check_entry(self, i: int, j: int) -> None:
+        if not (0 <= i < self.m and 0 <= j < self.n):
+            raise ValueError(f"entry ({i}, {j}) outside {self.m} x {self.n} matrix")

@@ -1,0 +1,155 @@
+"""Machine performance models (the α, β, γ of the paper's cost model).
+
+The paper estimates runtimes with a classic latency/bandwidth/flop model
+(Section 3): sending ``w`` words costs ``α + w·β`` seconds, a multiply/add
+costs ``γ``, a division costs ``γ_d``, and collectives over ``P`` processes
+take ``log2(P)`` identical steps.  Section 4 additionally allows different
+latency/bandwidth along process-grid columns (``α_c, β_c``) and rows
+(``α_r, β_r``) to model hierarchical machines.
+
+:class:`MachineModel` carries those parameters.  The same object is consumed
+by the virtual-MPI simulator (to advance per-rank clocks) and by the analytic
+models of :mod:`repro.models` (to evaluate Equations (1)-(3)).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Optional
+
+
+@dataclass(frozen=True)
+class MachineModel:
+    """Parameters of the α-β-γ machine model.
+
+    Attributes
+    ----------
+    name:
+        Human-readable machine name.
+    gamma:
+        Seconds per multiply/add floating point operation (effective, i.e.
+        already including the fraction of peak a tuned BLAS reaches).
+    gamma_d:
+        Seconds per division.
+    alpha:
+        Point-to-point message latency in seconds (default channel).
+    beta:
+        Seconds per 8-byte word transferred (inverse bandwidth, default
+        channel).
+    alpha_row / beta_row:
+        Latency / inverse bandwidth for messages between processes in the
+        same grid *row* (different nodes in a hierarchical machine).  Default
+        to ``alpha`` / ``beta``.
+    alpha_col / beta_col:
+        Latency / inverse bandwidth for messages within a grid *column*.
+        Default to ``alpha`` / ``beta``.
+    peak_flops_per_proc:
+        Theoretical peak of one processor in flop/s — used only to report
+        "percent of peak" columns, never to compute times.
+    """
+
+    name: str
+    gamma: float
+    gamma_d: float
+    alpha: float
+    beta: float
+    alpha_row: Optional[float] = None
+    beta_row: Optional[float] = None
+    alpha_col: Optional[float] = None
+    beta_col: Optional[float] = None
+    peak_flops_per_proc: float = 0.0
+    notes: str = ""
+
+    def __post_init__(self) -> None:
+        if min(self.gamma, self.gamma_d, self.alpha, self.beta) < 0:
+            raise ValueError("machine parameters must be non-negative")
+
+    # Channel-resolved accessors -------------------------------------------------
+    def latency(self, channel: str = "any") -> float:
+        """Message latency for a channel ("row", "col" or "any")."""
+        if channel == "row" and self.alpha_row is not None:
+            return self.alpha_row
+        if channel == "col" and self.alpha_col is not None:
+            return self.alpha_col
+        return self.alpha
+
+    def inv_bandwidth(self, channel: str = "any") -> float:
+        """Per-word transfer time for a channel ("row", "col" or "any")."""
+        if channel == "row" and self.beta_row is not None:
+            return self.beta_row
+        if channel == "col" and self.beta_col is not None:
+            return self.beta_col
+        return self.beta
+
+    def message_time(self, words: float, channel: str = "any") -> float:
+        """Time to send a message of ``words`` 8-byte words: ``α + w·β``."""
+        return self.latency(channel) + words * self.inv_bandwidth(channel)
+
+    def compute_time(self, muladds: float, divides: float = 0.0) -> float:
+        """Time to execute the given arithmetic: ``muladds·γ + divides·γ_d``."""
+        return muladds * self.gamma + divides * self.gamma_d
+
+    def flops_to_gflops(self, flops: float, seconds: float) -> float:
+        """Convert a (flops, time) pair into GFLOP/s (0 if time is 0)."""
+        if seconds <= 0.0:
+            return 0.0
+        return flops / seconds / 1.0e9
+
+    def percent_of_peak(self, flops: float, seconds: float, nprocs: int) -> float:
+        """Percent of aggregate theoretical peak achieved by ``flops`` in ``seconds``."""
+        if seconds <= 0.0 or self.peak_flops_per_proc <= 0.0 or nprocs <= 0:
+            return 0.0
+        achieved = flops / seconds
+        return 100.0 * achieved / (self.peak_flops_per_proc * nprocs)
+
+    def with_overrides(self, **kwargs) -> "MachineModel":
+        """Return a copy of this model with some parameters replaced."""
+        return replace(self, **kwargs)
+
+
+def unit_machine() -> MachineModel:
+    """A machine where a message costs 1 and arithmetic/bandwidth are free.
+
+    With this model the simulated critical-path time equals the number of
+    message steps on the critical path, which is convenient in unit tests of
+    the communication structure.
+    """
+    return MachineModel(
+        name="unit-latency",
+        gamma=0.0,
+        gamma_d=0.0,
+        alpha=1.0,
+        beta=0.0,
+        notes="alpha=1, everything else free; for counting message steps",
+    )
+
+
+def generic_cluster(
+    flop_rate: float = 5.0e9,
+    efficiency: float = 0.5,
+    latency: float = 5.0e-6,
+    bandwidth: float = 2.0e9,
+) -> MachineModel:
+    """A generic commodity-cluster model used in examples and defaults.
+
+    Parameters
+    ----------
+    flop_rate:
+        Peak flop/s per process.
+    efficiency:
+        Fraction of peak a tuned BLAS sustains; ``γ = 1 / (flop_rate * efficiency)``.
+    latency:
+        MPI point-to-point latency in seconds.
+    bandwidth:
+        Link bandwidth in bytes/s.
+    """
+    gamma = 1.0 / (flop_rate * efficiency)
+    return MachineModel(
+        name="generic-cluster",
+        gamma=gamma,
+        gamma_d=10.0 * gamma,
+        alpha=latency,
+        beta=8.0 / bandwidth,
+        peak_flops_per_proc=flop_rate,
+        notes="generic cluster for examples",
+    )

@@ -1,0 +1,29 @@
+"""The paper's analytic performance models (Equations 1-3) and comparisons."""
+
+from .calu_model import calu_cost, calu_flops
+from .compare import (
+    PAPER_GRIDS,
+    FactorizationComparison,
+    PanelComparison,
+    best_vs_best,
+    compare_factorization,
+    compare_panel,
+    recursive_speedup,
+)
+from .pdgetrf_model import pdgetrf_cost
+from .tslu_model import pdgetf2_cost, tslu_cost
+
+__all__ = [
+    "tslu_cost",
+    "pdgetf2_cost",
+    "calu_cost",
+    "calu_flops",
+    "pdgetrf_cost",
+    "compare_panel",
+    "compare_factorization",
+    "best_vs_best",
+    "recursive_speedup",
+    "PanelComparison",
+    "FactorizationComparison",
+    "PAPER_GRIDS",
+]

@@ -1,0 +1,179 @@
+"""Model-based comparisons between CALU/TSLU and the ScaLAPACK baselines.
+
+These helpers evaluate the analytic cost ledgers under a machine model and
+produce exactly the quantities the paper's tables report: time ratios
+(PDGETF2/TSLU, PDGETRF/CALU), CALU GFLOP/s, percent of peak, and the
+"best vs best" speedups of Table 7.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from ..machines.model import MachineModel
+from .calu_model import calu_cost, calu_flops
+from .pdgetrf_model import pdgetrf_cost
+from .tslu_model import pdgetf2_cost, tslu_cost
+
+#: Effective local-factorization speedup attributed to the recursive kernel
+#: (RGETF2) relative to the classic kernel as a function of panel height.
+#: Calibrated to the trend of the paper's Tables 3-4: negligible for small
+#: panels, roughly 2-4x for panels of 1e5-1e6 rows where the classic,
+#: column-by-column kernel becomes memory-bound.
+RECURSIVE_SPEEDUP_BY_HEIGHT: Sequence[Tuple[float, float]] = (
+    (1.0e3, 1.0),
+    (5.0e3, 1.1),
+    (1.0e4, 1.3),
+    (1.0e5, 2.0),
+    (1.0e6, 3.0),
+)
+
+
+def recursive_speedup(m: float) -> float:
+    """Interpolated effective speedup of the recursive local kernel for height ``m``."""
+    pts = list(RECURSIVE_SPEEDUP_BY_HEIGHT)
+    if m <= pts[0][0]:
+        return pts[0][1]
+    for (m0, s0), (m1, s1) in zip(pts, pts[1:]):
+        if m <= m1:
+            # log-linear interpolation in m.
+            import math
+
+            t = (math.log10(m) - math.log10(m0)) / (math.log10(m1) - math.log10(m0))
+            return s0 + t * (s1 - s0)
+    return pts[-1][1]
+
+
+@dataclass
+class PanelComparison:
+    """PDGETF2 vs TSLU on one panel configuration."""
+
+    m: int
+    b: int
+    P: int
+    local_kernel: str
+    t_pdgetf2: float
+    t_tslu: float
+
+    @property
+    def ratio(self) -> float:
+        """Time ratio PDGETF2 / TSLU (the paper's Tables 3-4 entries)."""
+        return self.t_pdgetf2 / self.t_tslu if self.t_tslu > 0 else float("inf")
+
+    @property
+    def tslu_gflops(self) -> float:
+        """TSLU performance counting its total flops (as the paper does)."""
+        flops = 2.0 * self.m * self.b * self.b  # factorization done twice
+        return flops / self.t_tslu / 1.0e9 if self.t_tslu > 0 else 0.0
+
+
+def compare_panel(
+    m: int,
+    b: int,
+    P: int,
+    machine: MachineModel,
+    local_kernel: str = "rgetf2",
+) -> PanelComparison:
+    """Model-predicted PDGETF2 / TSLU comparison for one (m, b, P) point."""
+    speedup = recursive_speedup(m) if local_kernel == "rgetf2" else 1.0
+    t_tslu = tslu_cost(m, b, P, local_kernel=local_kernel, local_speedup=speedup).time(machine)
+    t_ref = pdgetf2_cost(m, b, P).time(machine)
+    return PanelComparison(
+        m=m, b=b, P=P, local_kernel=local_kernel, t_pdgetf2=t_ref, t_tslu=t_tslu
+    )
+
+
+@dataclass
+class FactorizationComparison:
+    """PDGETRF vs CALU on one full-factorization configuration."""
+
+    m: int
+    b: int
+    Pr: int
+    Pc: int
+    t_pdgetrf: float
+    t_calu: float
+
+    @property
+    def P(self) -> int:
+        """Total number of processes."""
+        return self.Pr * self.Pc
+
+    @property
+    def ratio(self) -> float:
+        """Time ratio PDGETRF / CALU (the "Impvt" columns of Tables 5-6)."""
+        return self.t_pdgetrf / self.t_calu if self.t_calu > 0 else float("inf")
+
+    @property
+    def calu_gflops(self) -> float:
+        """CALU performance in GFLOP/s counting the useful LU flops."""
+        return calu_flops(self.m, self.m) / self.t_calu / 1.0e9 if self.t_calu > 0 else 0.0
+
+    def percent_of_peak(self, machine: MachineModel) -> float:
+        """CALU's percent of the aggregate theoretical peak."""
+        return machine.percent_of_peak(calu_flops(self.m, self.m), self.t_calu, self.P)
+
+
+def compare_factorization(
+    m: int,
+    b: int,
+    Pr: int,
+    Pc: int,
+    machine: MachineModel,
+    local_kernel: str = "rgetf2",
+    swap_scheme: str = "reduce_broadcast",
+) -> FactorizationComparison:
+    """Model-predicted PDGETRF / CALU comparison for a square matrix of order ``m``."""
+    speedup = recursive_speedup(m) if local_kernel == "rgetf2" else 1.0
+    t_calu = calu_cost(
+        m, m, b, Pr, Pc, local_speedup=speedup, swap_scheme=swap_scheme
+    ).time(machine)
+    t_ref = pdgetrf_cost(m, m, b, Pr, Pc).time(machine)
+    return FactorizationComparison(m=m, b=b, Pr=Pr, Pc=Pc, t_pdgetrf=t_ref, t_calu=t_calu)
+
+
+def best_vs_best(
+    m: int,
+    machine: MachineModel,
+    grids: Sequence[Tuple[int, int]],
+    block_sizes: Sequence[int],
+    local_kernel: str = "rgetf2",
+) -> Dict[str, object]:
+    """Best-CALU vs best-PDGETRF speedup over a sweep of grids and block sizes (Table 7).
+
+    Returns a dict with the speedup, and for each algorithm the best time,
+    GFLOP/s, block size and process count at which it was achieved.
+    """
+    best_calu: Optional[FactorizationComparison] = None
+    best_ref: Optional[Tuple[float, int, int]] = None  # (time, P, b)
+    for Pr, Pc in grids:
+        for b in block_sizes:
+            cmp_ = compare_factorization(m, b, Pr, Pc, machine, local_kernel=local_kernel)
+            if best_calu is None or cmp_.t_calu < best_calu.t_calu:
+                best_calu = cmp_
+            if best_ref is None or cmp_.t_pdgetrf < best_ref[0]:
+                best_ref = (cmp_.t_pdgetrf, Pr * Pc, b)
+    assert best_calu is not None and best_ref is not None
+    flops = calu_flops(m, m)
+    return {
+        "m": m,
+        "speedup": best_ref[0] / best_calu.t_calu,
+        "calu_gflops": best_calu.calu_gflops,
+        "calu_P": best_calu.P,
+        "calu_b": best_calu.b,
+        "calu_percent_peak": best_calu.percent_of_peak(machine),
+        "pdgetrf_gflops": flops / best_ref[0] / 1.0e9,
+        "pdgetrf_P": best_ref[1],
+        "pdgetrf_b": best_ref[2],
+    }
+
+
+#: The process grids the paper uses for P = 4 .. 64.
+PAPER_GRIDS: Dict[int, Tuple[int, int]] = {
+    4: (2, 2),
+    8: (2, 4),
+    16: (4, 4),
+    32: (4, 8),
+    64: (8, 8),
+}

@@ -1,0 +1,49 @@
+"""Analytic runtime model of ScaLAPACK's PDGETRF (Equation (3) of the paper).
+
+::
+
+    T_PDGETRF = [ (m n^2 - n^3/3)/P + b (m n - n^2/2)/Pr + n^2 b / (2 Pc) ] γ
+              + n γ_d
+              + [ 2 n (1 + 2/b) log2 Pr + n ] α_c
+              + (n b / 2 + 3 n^2 / (2 Pc)) log2 Pr β_c
+              + log2 Pc [ (3n/b) α_r + ( (m n - n^2/2)/Pr ) β_r ]
+
+The dominant latency term ``2 n log2 Pr`` comes from the panel factorization
+(PDGETF2: two message rounds per column) — the bottleneck CALU removes.
+"""
+
+from __future__ import annotations
+
+from ..costs.accounting import CostLedger
+from .tslu_model import _log2
+
+
+def pdgetrf_cost(m: float, n: float, b: float, Pr: float, Pc: float) -> CostLedger:
+    """Critical-path cost of PDGETRF on an ``m x n`` matrix (Equation 3)."""
+    if min(m, n, b, Pr, Pc) <= 0:
+        raise ValueError("all parameters must be positive")
+    P = Pr * Pc
+    lgr = _log2(Pr)
+    lgc = _log2(Pc)
+
+    muladds = (
+        (m * n * n - n**3 / 3.0) / P
+        + b * (m * n - n * n / 2.0) / Pr
+        + n * n * b / (2.0 * Pc)
+    )
+    divides = n
+
+    col_messages = 2.0 * n * (1.0 + 2.0 / b) * lgr + n
+    col_words = (n * b / 2.0 + 3.0 * n * n / (2.0 * Pc)) * lgr
+    row_messages = (3.0 * n / b) * lgc
+    row_words = ((m * n - n * n / 2.0) / Pr) * lgc
+
+    return CostLedger(
+        muladds=muladds,
+        divides=divides,
+        messages_col=col_messages,
+        words_col=col_words,
+        messages_row=row_messages,
+        words_row=row_words,
+        label=f"PDGETRF(m={m:g}, n={n:g}, b={b:g}, Pr={Pr:g}, Pc={Pc:g})",
+    )

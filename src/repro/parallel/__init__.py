@@ -1,0 +1,16 @@
+"""Distributed (SPMD) versions of TSLU and CALU running on the virtual MPI."""
+
+from .driver import DistributedLUResult, block_right_looking_rank, run_block_lu
+from .pcalu import make_calu_panel, pcalu
+from .ptslu import PTSLUResult, ptslu, ptslu_rank
+
+__all__ = [
+    "ptslu",
+    "ptslu_rank",
+    "PTSLUResult",
+    "pcalu",
+    "make_calu_panel",
+    "run_block_lu",
+    "block_right_looking_rank",
+    "DistributedLUResult",
+]

@@ -1,0 +1,123 @@
+"""Distributed CALU on a 2-D block-cyclic layout (Section 4 of the paper).
+
+The outer iteration is the shared block right-looking driver of
+:mod:`repro.parallel.driver`; the panel factorization is the distributed TSLU
+of :mod:`repro.parallel.ptslu`.  Per panel, the processes of the owning grid
+column exchange only ``log2 Pr`` messages (the tournament butterfly) instead
+of the ``~2 b log2 Pr`` messages of ScaLAPACK's PDGETF2 — the whole point of
+the algorithm.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional, Tuple
+
+import numpy as np
+
+from ..distsim.vmpi import Communicator
+from ..kernels.flops import FlopCounter
+from ..kernels.trsm import trsm_right_upper
+from ..layouts.block_cyclic import BlockCyclic2D
+from ..layouts.grid import ProcessGrid
+from ..machines.model import MachineModel
+from ..scalapack.pdlaswp import pdlaswp, winners_to_swaps
+from .driver import DistributedLUResult, run_block_lu
+from .ptslu import ptslu_rank
+
+
+def make_calu_panel(
+    local_kernel: str = "getf2",
+) -> Callable[..., List[Tuple[int, int]]]:
+    """Create the CALU panel-factorization callback for the shared driver.
+
+    Parameters
+    ----------
+    local_kernel:
+        Kernel used for the local (leaf) factorizations of the tournament:
+        ``"getf2"`` (classic) or ``"rgetf2"`` (recursive) — the paper's Cl /
+        Rec configurations.
+    """
+
+    def panel(
+        comm: Communicator,
+        dist: BlockCyclic2D,
+        Aloc: np.ndarray,
+        j0: int,
+        jb: int,
+        col_group: List[int],
+        tag: object,
+    ) -> List[Tuple[int, int]]:
+        grid = dist.grid
+        myrow, _ = grid.coords(comm.rank)
+        my_grows = dist.local_rows(myrow)
+        act_mask = my_grows >= j0
+        act_grows = my_grows[act_mask]
+        act_lrows = np.nonzero(act_mask)[0]
+        panel_lcols = np.asarray(
+            [dist.global_to_local_col(g) for g in range(j0, j0 + jb)], dtype=np.int64
+        )
+        local_panel = Aloc[np.ix_(act_lrows, panel_lcols)]
+
+        # Tournament pivoting over the grid column (log2 Pr messages).
+        res = ptslu_rank(
+            comm,
+            act_grows,
+            local_panel,
+            jb,
+            group=col_group,
+            local_kernel=local_kernel,
+            channel="col",
+            tag=(tag, "tslu"),
+            compute_L=False,
+        )
+        winners = res["winners"]
+        U = np.asarray(res["U"], dtype=np.float64)
+        swaps = winners_to_swaps(j0, winners)
+
+        # Move the winning rows to the top of the panel columns.
+        pdlaswp(comm, dist, Aloc, swaps, panel_lcols, tag=(tag, "pswap"), channel="col")
+
+        # Second phase of ca-pivoting: with the winners on the diagonal block,
+        # the panel is factored without further pivoting.  Locally that means
+        # L = A_panel(swapped) U11^{-1}, then packing L (strictly lower) and
+        # U11 (diagonal block rows) into the panel columns.
+        scratch = FlopCounter()
+        swapped = Aloc[np.ix_(act_lrows, panel_lcols)]
+        if act_lrows.size:
+            k = min(jb, U.shape[0])
+            U11 = U[:k, :k]
+            L_loc = trsm_right_upper(U11, swapped[:, :k], flops=scratch)
+            comm.charge_counter(scratch)
+            packed = np.array(L_loc[:, :jb]) if L_loc.shape[1] >= jb else np.pad(
+                L_loc, ((0, 0), (0, jb - L_loc.shape[1]))
+            )
+            for i, g in enumerate(act_grows):
+                if j0 <= g < j0 + jb:
+                    idx = g - j0
+                    # Diagonal-block row: strictly-lower part is L, the rest is U.
+                    packed[i, idx:] = U[idx, idx:jb] if idx < U.shape[0] else 0.0
+            Aloc[np.ix_(act_lrows, panel_lcols)] = packed
+        return swaps
+
+    return panel
+
+
+def pcalu(
+    A: np.ndarray,
+    grid: ProcessGrid,
+    block_size: int,
+    local_kernel: str = "getf2",
+    machine: Optional[MachineModel] = None,
+) -> DistributedLUResult:
+    """Distributed CALU of ``A`` over ``grid`` with block size ``block_size``.
+
+    Returns the gathered factors, the pivot sequence and the per-rank
+    communication trace (see :class:`~repro.parallel.driver.DistributedLUResult`).
+    """
+    return run_block_lu(
+        A,
+        grid,
+        block_size,
+        panel_factory=lambda: make_calu_panel(local_kernel=local_kernel),
+        machine=machine,
+    )

@@ -1,0 +1,27 @@
+"""Reproducible matrix generators used by tests, examples and experiments."""
+
+from .generators import (
+    default_rng,
+    diagonally_dominant,
+    figure1_matrix,
+    ill_conditioned,
+    linear_system,
+    randn,
+    rank_deficient,
+    tall_skinny,
+    toeplitz_random,
+    uniform,
+)
+
+__all__ = [
+    "default_rng",
+    "randn",
+    "uniform",
+    "toeplitz_random",
+    "diagonally_dominant",
+    "ill_conditioned",
+    "rank_deficient",
+    "tall_skinny",
+    "figure1_matrix",
+    "linear_system",
+]

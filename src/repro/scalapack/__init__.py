@@ -1,0 +1,21 @@
+"""Simulated ScaLAPACK baselines (PDGETF2, PDGETRF, PDLASWP, PDTRSM, PDGEMM).
+
+These reproduce the communication structure of the routines the paper
+compares against, on the same virtual-MPI substrate and cost model as CALU.
+"""
+
+from .pdgemm import pdgemm_trailing_update
+from .pdgetf2 import make_pdgetf2_panel
+from .pdgetrf import pdgetrf
+from .pdlaswp import apply_swaps_to_permutation, pdlaswp, winners_to_swaps
+from .pdtrsm import pdtrsm_block_row
+
+__all__ = [
+    "pdgetrf",
+    "make_pdgetf2_panel",
+    "pdlaswp",
+    "winners_to_swaps",
+    "apply_swaps_to_permutation",
+    "pdtrsm_block_row",
+    "pdgemm_trailing_update",
+]

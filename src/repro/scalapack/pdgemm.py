@@ -1,0 +1,54 @@
+"""Distributed trailing-matrix update (ScaLAPACK ``PDGEMM`` analogue).
+
+After the panel factors ``L21`` (broadcast along process rows) and the block
+row ``U12`` (broadcast along process columns) are available on every process,
+the Schur-complement update ``A22 <- A22 - L21 U12`` is purely local: each
+process updates the intersection of the trailing rows and columns it owns.
+The arithmetic is charged to the calling rank; the broadcasts themselves are
+performed by the driver so that their messages are attributed to the right
+channels.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..distsim.vmpi import Communicator
+from ..kernels.flops import FlopCounter
+from ..kernels.gemm import gemm_update
+
+
+def pdgemm_trailing_update(
+    comm: Communicator,
+    Aloc: np.ndarray,
+    L21_local: np.ndarray,
+    U12_local: np.ndarray,
+    local_row_indices: np.ndarray,
+    local_col_indices: np.ndarray,
+) -> None:
+    """Update this rank's trailing block: ``A22 -= L21_local @ U12_local``.
+
+    Parameters
+    ----------
+    comm:
+        Calling rank (cost accounting only).
+    Aloc:
+        Local array, modified in place.
+    L21_local:
+        The rows of ``L21`` corresponding to this rank's trailing rows
+        (``len(local_row_indices) x b``).
+    U12_local:
+        The columns of ``U12`` corresponding to this rank's trailing columns
+        (``b x len(local_col_indices)``).
+    local_row_indices, local_col_indices:
+        Local indices of the trailing rows/columns owned by this rank.
+    """
+    rows = np.asarray(local_row_indices, dtype=np.int64)
+    cols = np.asarray(local_col_indices, dtype=np.int64)
+    if rows.size == 0 or cols.size == 0:
+        return
+    scratch = FlopCounter()
+    block = Aloc[np.ix_(rows, cols)]
+    gemm_update(block, L21_local, U12_local, flops=scratch)
+    Aloc[np.ix_(rows, cols)] = block
+    comm.charge_counter(scratch)

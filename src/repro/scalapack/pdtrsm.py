@@ -1,0 +1,56 @@
+"""Distributed computation of a block-row of U (ScaLAPACK ``PDTRSM`` analogue).
+
+At iteration ``j`` of the block right-looking factorization the processes in
+the grid row that owns block-row ``j`` solve ``U12 = L11^{-1} A12`` for their
+local columns.  ``L11`` (the unit-lower-triangular diagonal block of the
+panel) has already been received through the panel's row broadcast, so the
+solve itself involves no communication — only local arithmetic, which is
+charged to the calling rank.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..distsim.vmpi import Communicator
+from ..kernels.flops import FlopCounter
+from ..kernels.trsm import trsm_lower_unit
+
+
+def pdtrsm_block_row(
+    comm: Communicator,
+    L11: np.ndarray,
+    Aloc: np.ndarray,
+    local_row_indices: np.ndarray,
+    local_col_indices: np.ndarray,
+) -> np.ndarray:
+    """Overwrite the local piece of the U block-row: ``A12 <- L11^{-1} A12``.
+
+    Parameters
+    ----------
+    comm:
+        Calling rank (used only for cost accounting).
+    L11:
+        The ``b x b`` unit-lower-triangular block of the current panel.
+    Aloc:
+        The local array (modified in place).
+    local_row_indices:
+        Local row indices of the block-row ``j`` rows this rank stores.
+    local_col_indices:
+        Local column indices of the trailing columns this rank stores.
+
+    Returns
+    -------
+    numpy.ndarray
+        The computed local block of ``U12`` (also written back into ``Aloc``).
+    """
+    rows = np.asarray(local_row_indices, dtype=np.int64)
+    cols = np.asarray(local_col_indices, dtype=np.int64)
+    if rows.size == 0 or cols.size == 0:
+        return np.zeros((rows.size, cols.size))
+    scratch = FlopCounter()
+    block = Aloc[np.ix_(rows, cols)]
+    u12 = trsm_lower_unit(L11[: rows.size, : rows.size], block, flops=scratch)
+    comm.charge_counter(scratch)
+    Aloc[np.ix_(rows, cols)] = u12
+    return u12

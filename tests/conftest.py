@@ -1,0 +1,24 @@
+"""Shared fixtures for the repro test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    """Deterministic random generator for tests."""
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture
+def small_square(rng) -> np.ndarray:
+    """A well-conditioned 32 x 32 random matrix."""
+    return rng.standard_normal((32, 32))
+
+
+@pytest.fixture
+def tall_panel(rng) -> np.ndarray:
+    """A 48 x 6 tall-skinny panel."""
+    return rng.standard_normal((48, 6))

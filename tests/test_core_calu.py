@@ -1,0 +1,137 @@
+"""Unit tests for the sequential-semantics CALU factorization."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import calu, factorization_error, reconstruct
+from repro.kernels import getrf_partial_pivoting
+from repro.randmat import (
+    diagonally_dominant,
+    ill_conditioned,
+    randn,
+    toeplitz_random,
+    uniform,
+)
+
+
+@pytest.mark.parametrize("n,b,P", [(32, 8, 4), (48, 16, 2), (64, 8, 8), (33, 7, 3), (16, 16, 1)])
+def test_calu_factorization_is_accurate(n, b, P):
+    A = randn(n, seed=n + b + P)
+    res = calu(A, block_size=b, nblocks=P)
+    assert factorization_error(A, res) < 1e-12
+
+
+def test_calu_reconstruct_roundtrip():
+    A = randn(40, seed=1)
+    res = calu(A, block_size=8, nblocks=4)
+    assert np.allclose(reconstruct(res), A, atol=1e-10)
+
+
+def test_calu_L_unit_lower_triangular():
+    A = randn(32, seed=2)
+    res = calu(A, block_size=8, nblocks=4)
+    assert np.allclose(np.diag(res.L), 1.0)
+    assert np.allclose(np.triu(res.L, 1), 0.0)
+    assert np.allclose(res.U, np.triu(res.U))
+
+
+def test_calu_perm_is_permutation():
+    A = randn(30, seed=3)
+    res = calu(A, block_size=6, nblocks=3)
+    assert np.array_equal(np.sort(res.perm), np.arange(30))
+
+
+def test_calu_equals_partial_pivoting_when_single_block_row():
+    """P = 1: every panel tournament degenerates to partial pivoting."""
+    A = randn(32, seed=4)
+    res = calu(A, block_size=8, nblocks=1)
+    ref = getrf_partial_pivoting(A)
+    assert np.array_equal(res.perm, ref.perm)
+    assert np.allclose(res.L, ref.L, atol=1e-12)
+    assert np.allclose(res.U, ref.U, atol=1e-12)
+
+
+def test_calu_block_width_one_equals_partial_pivoting():
+    """b = 1: the tournament selects the max-magnitude entry per column."""
+    A = randn(24, seed=5)
+    res = calu(A, block_size=1, nblocks=4, partition="contiguous")
+    ref = getrf_partial_pivoting(A)
+    # Same pivot magnitudes on the diagonal of U.
+    assert np.allclose(np.abs(np.diag(res.U)), np.abs(np.diag(ref.U)), atol=1e-10)
+
+
+@pytest.mark.parametrize(
+    "generator", [randn, uniform, toeplitz_random, diagonally_dominant]
+)
+def test_calu_on_different_matrix_families(generator):
+    A = generator(48, seed=6)
+    res = calu(A, block_size=8, nblocks=4)
+    assert factorization_error(A, res) < 1e-11
+
+
+def test_calu_on_ill_conditioned_matrix_backward_stable():
+    A = ill_conditioned(48, cond=1e12, seed=7)
+    res = calu(A, block_size=8, nblocks=4)
+    # Backward error stays small even though the matrix is nearly singular.
+    assert factorization_error(A, res) < 1e-10
+
+
+def test_calu_block_size_larger_than_matrix():
+    A = randn(16, seed=8)
+    res = calu(A, block_size=64, nblocks=2)
+    assert factorization_error(A, res) < 1e-12
+
+
+def test_calu_rectangular_tall():
+    A = randn(40, seed=9)[:, :24]
+    res = calu(A, block_size=8, nblocks=4)
+    assert res.L.shape == (40, 24)
+    assert res.U.shape == (24, 24)
+    assert np.allclose(A[res.perm, :], res.L @ res.U, atol=1e-11)
+
+
+def test_calu_growth_and_threshold_histories():
+    A = randn(64, seed=10)
+    res = calu(A, block_size=16, nblocks=4, track_growth=True, compute_thresholds=True)
+    assert len(res.growth_history) == 4
+    assert res.threshold_history.shape == (64,)
+    assert np.all(res.threshold_history > 0.0)
+    assert np.all(res.threshold_history <= 1.0 + 1e-12)
+
+
+def test_calu_threshold_bounds_L():
+    A = randn(96, seed=11)
+    res = calu(A, block_size=16, nblocks=4, compute_thresholds=True)
+    tau_min = res.threshold_history.min()
+    assert np.max(np.abs(res.L)) <= 1.0 / tau_min + 1e-6
+
+
+def test_calu_flops_close_to_lu_count():
+    """CALU's arithmetic is (2/3)n^3 plus the redundant panel work."""
+    n, b, P = 64, 16, 4
+    A = randn(n, seed=12)
+    res = calu(A, block_size=b, nblocks=P)
+    lu_flops = 2.0 * n**3 / 3.0
+    assert res.flops.muladds > 0.9 * lu_flops
+    # Redundant work is a small multiple, not a blow-up.
+    assert res.flops.muladds < 3.0 * lu_flops
+
+
+def test_calu_invalid_inputs():
+    with pytest.raises(ValueError):
+        calu(randn(8, 12, seed=1), block_size=2, nblocks=2)  # wide matrix
+    with pytest.raises(ValueError):
+        calu(randn(8, seed=1), block_size=0, nblocks=2)
+    with pytest.raises(ValueError):
+        calu(randn(8, seed=1), block_size=2, nblocks=0)
+    with pytest.raises(ValueError):
+        calu(np.ones(3), block_size=1, nblocks=1)
+
+
+@pytest.mark.parametrize("schedule", ["flat", "binary", "butterfly"])
+def test_calu_schedules_all_stable(schedule):
+    A = randn(48, seed=13)
+    res = calu(A, block_size=8, nblocks=4, schedule=schedule)
+    assert factorization_error(A, res) < 1e-12

@@ -1,0 +1,66 @@
+"""Unit tests for the CALU-based linear solver and iterative refinement."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import calu, calu_solve, lu_solve, solve_with_refinement
+from repro.core.solve import componentwise_backward_error
+from repro.randmat import ill_conditioned, linear_system, randn
+
+
+def test_lu_solve_vector_and_matrix_rhs():
+    A, b, x_true = linear_system(32, seed=1)
+    res = calu(A, block_size=8, nblocks=4)
+    x = lu_solve(res.L, res.U, res.perm, b)
+    assert np.allclose(x, x_true, atol=1e-8)
+    B = np.column_stack([b, 2 * b])
+    X = lu_solve(res.L, res.U, res.perm, B)
+    assert X.shape == (32, 2)
+    assert np.allclose(X[:, 1], 2 * x_true, atol=1e-7)
+
+
+def test_solve_with_refinement_improves_backward_error():
+    A, b, _ = linear_system(64, seed=2)
+    fact = calu(A, block_size=16, nblocks=4)
+    res = solve_with_refinement(A, b, fact, max_iterations=2)
+    assert res.backward_errors[-1] <= res.backward_errors[0] + 1e-16
+    assert res.backward_errors[-1] < 1e-13
+
+
+def test_refinement_stops_early_when_converged():
+    A, b, _ = linear_system(32, seed=3, kind="diagonally_dominant")
+    fact = calu(A, block_size=8, nblocks=2)
+    res = solve_with_refinement(A, b, fact, max_iterations=5, tolerance=1e-12)
+    assert res.iterations <= 2
+
+
+def test_calu_solve_end_to_end():
+    A, b, x_true = linear_system(48, seed=4)
+    res = calu_solve(A, b, block_size=8, nblocks=4)
+    assert np.allclose(res.x, x_true, atol=1e-7)
+
+
+def test_componentwise_backward_error_zero_for_exact_solution():
+    A = np.eye(5)
+    x = np.ones(5)
+    assert componentwise_backward_error(A, x, x) == 0.0
+
+
+def test_solver_on_ill_conditioned_system_small_backward_error():
+    """Forward error may be large, but the backward error must stay tiny."""
+    A = ill_conditioned(40, cond=1e10, seed=5)
+    x_true = np.ones(40)
+    b = A @ x_true
+    res = calu_solve(A, b, block_size=8, nblocks=4)
+    assert componentwise_backward_error(A, res.x, b) < 1e-10
+
+
+def test_solver_hpl_criterion_satisfied():
+    from repro.stability import hpl_residuals
+
+    A, b, _ = linear_system(96, seed=6)
+    res = calu_solve(A, b, block_size=16, nblocks=4, refine=0)
+    r = hpl_residuals(A, res.x, b)
+    assert r.passed

@@ -1,0 +1,105 @@
+"""Unit tests for the sequential-semantics TSLU panel factorization."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import tslu
+from repro.core.tslu import tslu_partial_pivoting_reference
+from repro.randmat import figure1_matrix, randn, tall_skinny
+
+
+@pytest.mark.parametrize("nblocks", [1, 2, 4, 8])
+@pytest.mark.parametrize("m,b", [(32, 4), (64, 8), (16, 16), (40, 5)])
+def test_tslu_factorization_is_exact(nblocks, m, b):
+    A = tall_skinny(m, b, seed=m + b + nblocks)
+    res = tslu(A, nblocks=nblocks)
+    assert np.allclose(A[res.perm, :], res.L @ res.U, atol=1e-10)
+
+
+def test_tslu_L_unit_lower_and_U_upper():
+    A = tall_skinny(48, 6, seed=3)
+    res = tslu(A, nblocks=4)
+    k = 6
+    assert np.allclose(np.diag(res.L[:k, :k]), 1.0)
+    assert np.allclose(np.triu(res.L[:k, :k], 1), 0.0)
+    assert np.allclose(res.U, np.triu(res.U))
+
+
+def test_tslu_perm_is_permutation():
+    A = tall_skinny(30, 5, seed=4)
+    res = tslu(A, nblocks=3)
+    assert np.array_equal(np.sort(res.perm), np.arange(30))
+    assert np.array_equal(res.perm[:5], res.winners)
+
+
+def test_tslu_single_block_matches_partial_pivoting():
+    """P = 1 => ca-pivoting is exactly partial pivoting (paper, Section 2)."""
+    A = tall_skinny(25, 4, seed=6)
+    res = tslu(A, nblocks=1)
+    assert np.array_equal(res.winners, tslu_partial_pivoting_reference(A))
+
+
+def test_tslu_width_one_matches_partial_pivoting():
+    """b = 1 => the tournament is a max-magnitude reduction = partial pivoting."""
+    A = tall_skinny(32, 1, seed=7)
+    res = tslu(A, nblocks=4)
+    assert res.winners[0] == int(np.argmax(np.abs(A[:, 0])))
+
+
+def test_tslu_figure1_example_matches_gepp():
+    A = figure1_matrix()
+    res = tslu(A, nblocks=4, partition="block_cyclic", block_size=2)
+    assert sorted(res.winners.tolist()) == sorted(
+        tslu_partial_pivoting_reference(A).tolist()
+    )
+    assert np.allclose(A[res.perm, :], res.L @ res.U, atol=1e-12)
+
+
+@pytest.mark.parametrize("schedule", ["flat", "binary", "butterfly"])
+def test_tslu_all_schedules_produce_valid_factorizations(schedule):
+    A = tall_skinny(64, 8, seed=8)
+    res = tslu(A, nblocks=8, schedule=schedule)
+    assert np.allclose(A[res.perm, :], res.L @ res.U, atol=1e-10)
+
+
+@pytest.mark.parametrize("local_kernel", ["getf2", "rgetf2"])
+def test_tslu_local_kernels_equivalent(local_kernel):
+    """Classic and recursive local kernels choose the same pivots."""
+    A = tall_skinny(64, 8, seed=9)
+    res = tslu(A, nblocks=4, local_kernel=local_kernel)
+    ref = tslu(A, nblocks=4, local_kernel="getf2")
+    assert np.array_equal(res.winners, ref.winners)
+
+
+def test_tslu_threshold_history_in_unit_interval():
+    A = tall_skinny(64, 8, seed=10)
+    res = tslu(A, nblocks=4, compute_thresholds=True)
+    t = res.threshold_history
+    assert t.shape == (8,)
+    assert np.all(t > 0.0) and np.all(t <= 1.0 + 1e-12)
+
+
+def test_tslu_row_indices_relabels_output():
+    A = tall_skinny(20, 4, seed=11)
+    labels = np.arange(100, 120)
+    res = tslu(A, nblocks=2, row_indices=labels)
+    assert set(res.winners).issubset(set(labels))
+
+
+def test_tslu_L_entries_bounded_by_inverse_threshold():
+    """|L| <= 1/tau_min — the threshold-pivoting interpretation of the paper."""
+    A = tall_skinny(128, 8, seed=12)
+    res = tslu(A, nblocks=8, compute_thresholds=True)
+    tau_min = res.threshold_history.min()
+    assert np.max(np.abs(res.L)) <= 1.0 / tau_min + 1e-8
+
+
+def test_tslu_invalid_inputs():
+    with pytest.raises(ValueError):
+        tslu(np.zeros((0, 2)), nblocks=2)
+    with pytest.raises(ValueError):
+        tslu(randn(4, 2, seed=1), nblocks=0)
+    with pytest.raises(ValueError):
+        tslu(np.ones(5), nblocks=2)

@@ -1,0 +1,255 @@
+"""Unit tests for the virtual MPI runtime and its collectives."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.distsim import (
+    DeadlockError,
+    RankFailedError,
+    allgather,
+    allreduce,
+    barrier,
+    broadcast,
+    gather,
+    payload_words,
+    reduce,
+    run_spmd,
+    scatter,
+)
+from repro.machines import MachineModel, unit_machine
+
+
+# ----------------------------------------------------------------- basic p2p
+def test_send_recv_roundtrip():
+    def prog(comm):
+        if comm.rank == 0:
+            comm.send(1, np.arange(5.0), tag="x")
+            return None
+        return comm.recv(0, tag="x")
+
+    trace = run_spmd(2, prog)
+    assert np.allclose(trace.results[1], np.arange(5.0))
+    assert trace.ranks[0].messages_sent == 1
+    assert trace.ranks[1].messages_received == 1
+
+
+def test_send_copies_numpy_payload():
+    def prog(comm):
+        if comm.rank == 0:
+            data = np.ones(3)
+            comm.send(1, data, tag=0)
+            data[:] = -1  # mutate after send; receiver must not see it
+            return None
+        return comm.recv(0, tag=0)
+
+    trace = run_spmd(2, prog)
+    assert np.allclose(trace.results[1], 1.0)
+
+
+def test_out_of_order_tags_are_matched():
+    def prog(comm):
+        if comm.rank == 0:
+            comm.send(1, "first", tag="a")
+            comm.send(1, "second", tag="b")
+            return None
+        second = comm.recv(0, tag="b")
+        first = comm.recv(0, tag="a")
+        return (first, second)
+
+    trace = run_spmd(2, prog)
+    assert trace.results[1] == ("first", "second")
+
+
+def test_deadlock_detection():
+    def prog(comm):
+        if comm.rank == 1:
+            return comm.recv(0, tag="never")
+        return None
+
+    with pytest.raises(RankFailedError) as exc:
+        run_spmd(2, prog, timeout=0.2)
+    assert isinstance(exc.value.__cause__, DeadlockError)
+
+
+def test_rank_exception_propagates():
+    def prog(comm):
+        if comm.rank == 0:
+            raise ValueError("boom")
+        return comm.rank
+
+    with pytest.raises(RankFailedError):
+        run_spmd(2, prog, timeout=0.2)
+
+
+def test_self_send_rejected():
+    def prog(comm):
+        comm.send(comm.rank, 1)
+
+    with pytest.raises(RankFailedError):
+        run_spmd(1, prog)
+
+
+def test_single_rank_run():
+    trace = run_spmd(1, lambda comm: comm.rank * 10)
+    assert trace.results == [0]
+
+
+# ----------------------------------------------------------------- accounting
+def test_clock_advances_with_latency_and_flops():
+    machine = MachineModel(name="t", gamma=1.0, gamma_d=2.0, alpha=10.0, beta=0.5)
+
+    def prog(comm):
+        comm.charge_flops(muladds=3, divides=1)
+        if comm.rank == 0:
+            comm.send(1, np.zeros(4), tag=0)
+        else:
+            comm.recv(0, tag=0)
+        return comm.clock
+
+    trace = run_spmd(2, prog, machine=machine)
+    # Rank 0: 3*1 + 1*2 compute, + alpha + 4*beta send = 5 + 12 = 17.
+    assert trace.results[0] == pytest.approx(17.0)
+    # Rank 1 clock >= message availability time.
+    assert trace.results[1] >= 17.0
+
+
+def test_payload_words_estimates():
+    assert payload_words(np.zeros(10)) == 10
+    assert payload_words(3) == 1
+    assert payload_words((np.zeros(4), np.zeros(2))) == 6
+    assert payload_words({"a": np.zeros(3)}) == 3
+    assert payload_words(None) == 1
+
+
+def test_channel_split_is_recorded():
+    def prog(comm):
+        if comm.rank == 0:
+            comm.send(1, 1.0, tag=0, channel="row")
+            comm.send(1, 1.0, tag=1, channel="col")
+        else:
+            comm.recv(0, tag=0)
+            comm.recv(0, tag=1)
+
+    trace = run_spmd(2, prog)
+    assert trace.messages_by_channel("row") == 1
+    assert trace.messages_by_channel("col") == 1
+
+
+# ---------------------------------------------------------------- collectives
+@pytest.mark.parametrize("p", [1, 2, 3, 4, 5, 8])
+def test_broadcast_delivers_to_all(p):
+    def prog(comm):
+        value = {"data": 42} if comm.rank == 0 else None
+        return broadcast(comm, value, root=0)
+
+    trace = run_spmd(p, prog)
+    assert all(r == {"data": 42} for r in trace.results)
+
+
+@pytest.mark.parametrize("p", [2, 4, 7])
+def test_broadcast_from_nonzero_root(p):
+    root = p - 1
+
+    def prog(comm):
+        value = "hello" if comm.rank == root else None
+        return broadcast(comm, value, root=root)
+
+    trace = run_spmd(p, prog)
+    assert all(r == "hello" for r in trace.results)
+
+
+@pytest.mark.parametrize("p", [2, 3, 4, 8])
+def test_reduce_sum(p):
+    def prog(comm):
+        return reduce(comm, comm.rank + 1, lambda a, b: a + b, root=0)
+
+    trace = run_spmd(p, prog)
+    assert trace.results[0] == p * (p + 1) // 2
+    assert all(r is None for r in trace.results[1:])
+
+
+@pytest.mark.parametrize("p", [1, 2, 3, 4, 6, 8])
+def test_allreduce_sum_everyone_gets_result(p):
+    def prog(comm):
+        return allreduce(comm, comm.rank + 1, lambda a, b: a + b)
+
+    trace = run_spmd(p, prog)
+    assert all(r == p * (p + 1) // 2 for r in trace.results)
+
+
+@pytest.mark.parametrize("p", [2, 4, 8])
+def test_allreduce_message_count_is_logarithmic(p):
+    """Power-of-two all-reduce: each rank sends exactly log2(P) messages."""
+    import math
+
+    def prog(comm):
+        allreduce(comm, 1.0, lambda a, b: a + b)
+
+    trace = run_spmd(p, prog, machine=unit_machine())
+    assert trace.max_messages == math.log2(p)
+
+
+@pytest.mark.parametrize("p", [2, 3, 5])
+def test_gather_and_allgather(p):
+    def prog(comm):
+        return (
+            gather(comm, comm.rank * 2, root=0),
+            allgather(comm, comm.rank * 2),
+        )
+
+    trace = run_spmd(p, prog)
+    expected = [2 * i for i in range(p)]
+    assert trace.results[0][0] == expected
+    assert all(r[1] == expected for r in trace.results)
+
+
+@pytest.mark.parametrize("p", [2, 4, 5])
+def test_scatter(p):
+    def prog(comm):
+        values = [f"item{i}" for i in range(p)] if comm.rank == 0 else None
+        return scatter(comm, values, root=0)
+
+    trace = run_spmd(p, prog)
+    assert trace.results == [f"item{i}" for i in range(p)]
+
+
+def test_barrier_completes():
+    def prog(comm):
+        barrier(comm)
+        return True
+
+    assert all(run_spmd(4, prog).results)
+
+
+def test_collective_over_subgroup():
+    """Only the group's ranks participate; others are untouched."""
+
+    def prog(comm):
+        group = [1, 3]
+        if comm.rank in group:
+            return allreduce(comm, comm.rank, lambda a, b: a + b, group=group, tag="sub")
+        return None
+
+    trace = run_spmd(4, prog)
+    assert trace.results[1] == 4 and trace.results[3] == 4
+    assert trace.results[0] is None and trace.results[2] is None
+
+
+def test_collective_wrong_group_raises():
+    def prog(comm):
+        return broadcast(comm, 1, root=0, group=[0])
+
+    with pytest.raises(RankFailedError):
+        run_spmd(2, prog, timeout=0.5)
+
+
+def test_nonassociative_order_is_deterministic():
+    """allreduce applies the operator in group order (checked via string concat)."""
+
+    def prog(comm):
+        return allreduce(comm, str(comm.rank), lambda a, b: a + b)
+
+    trace = run_spmd(4, prog)
+    assert all(r == "0123" for r in trace.results)

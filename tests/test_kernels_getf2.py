@@ -1,0 +1,114 @@
+"""Unit tests for the unblocked LU kernel (DGETF2 analogue)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+import scipy.linalg as sla
+
+from repro.kernels import FlopCounter, FlopFormulas, getf2, lu_reconstruct, split_lu
+from repro.kernels.getf2 import getf2_nopivot
+from repro.randmat import randn
+
+
+@pytest.mark.parametrize("m,n", [(1, 1), (4, 4), (8, 5), (5, 8), (16, 16), (40, 7)])
+def test_getf2_reconstructs_input(m, n):
+    A = randn(m, n, seed=m * 100 + n)
+    res = getf2(A)
+    assert np.allclose(lu_reconstruct(res), A, atol=1e-12)
+
+
+@pytest.mark.parametrize("n", [2, 5, 16, 33])
+def test_getf2_matches_scipy_pivots(n):
+    A = randn(n, seed=n)
+    res = getf2(A)
+    _, piv = sla.lu_factor(A)
+    # scipy returns LAPACK-style ipiv (0-based already via lu_factor).
+    assert np.array_equal(res.ipiv, piv)
+
+
+def test_getf2_partial_pivoting_bounds_L():
+    A = randn(50, seed=3)
+    res = getf2(A)
+    L, _ = split_lu(res.lu)
+    assert np.max(np.abs(L)) <= 1.0 + 1e-14
+
+
+def test_getf2_singular_matrix_flagged():
+    A = np.zeros((4, 4))
+    res = getf2(A)
+    assert res.singular
+
+
+def test_getf2_exactly_singular_integer_matrix_is_flagged():
+    # Row 1 = 2 * row 0 with power-of-two entries: the elimination hits an
+    # exact zero pivot (no rounding noise), so the singular flag must be set.
+    A = np.array([[2.0, 1.0], [4.0, 2.0]])
+    res = getf2(A)
+    assert res.singular
+
+
+def test_getf2_does_not_modify_input_by_default():
+    A = randn(6, seed=9)
+    A0 = A.copy()
+    getf2(A)
+    assert np.array_equal(A, A0)
+
+
+def test_getf2_overwrite_modifies_input():
+    A = randn(6, seed=9)
+    res = getf2(A, overwrite=True)
+    assert res.lu is A
+
+
+def test_getf2_flop_count_matches_formula():
+    m, n = 30, 20
+    A = randn(m, n, seed=5)
+    flops = FlopCounter()
+    getf2(A, flops=flops)
+    expected = FlopFormulas.getf2(m, n)
+    # The formula is the leading-order count; the exact per-step sum differs
+    # by lower-order (m*n, n^2) terms.
+    assert flops.muladds == pytest.approx(expected, rel=0.10)
+    assert flops.divides == pytest.approx(FlopFormulas.getf2_divides(m, n), rel=1e-12)
+
+
+def test_getf2_growth_tracking():
+    A = randn(16, seed=7)
+    history = []
+    getf2(A, track_growth=history)
+    assert len(history) == 16
+    assert all(h > 0 for h in history)
+
+
+def test_getf2_rejects_1d_input():
+    with pytest.raises(ValueError):
+        getf2(np.ones(4))
+
+
+def test_getf2_identity_has_no_pivoting_and_unit_growth():
+    A = np.eye(8)
+    res = getf2(A)
+    assert np.array_equal(res.perm, np.arange(8))
+    assert np.allclose(res.lu, np.eye(8))
+
+
+@pytest.mark.parametrize("m,n", [(6, 6), (10, 4)])
+def test_getf2_nopivot_reconstructs_diagonally_dominant(m, n):
+    from repro.randmat import diagonally_dominant
+
+    A = diagonally_dominant(max(m, n), seed=2)[:m, :n]
+    lu = getf2_nopivot(A)
+    L = np.tril(lu[:, : min(m, n)], -1)
+    np.fill_diagonal(L, 1.0)
+    U = np.triu(lu[: min(m, n), :])
+    assert np.allclose(L @ U, A, atol=1e-10)
+
+
+def test_getf2_nopivot_counts_flops():
+    flops = FlopCounter()
+    from repro.randmat import diagonally_dominant
+
+    getf2_nopivot(diagonally_dominant(10, seed=4), flops=flops)
+    assert flops.muladds > 0
+    assert flops.divides > 0

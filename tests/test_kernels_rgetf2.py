@@ -1,0 +1,52 @@
+"""Unit tests for the recursive LU kernel (RGETF2)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.kernels import FlopCounter, getf2, lu_reconstruct, rgetf2
+from repro.randmat import randn
+
+
+@pytest.mark.parametrize("m,n", [(4, 4), (16, 16), (33, 17), (64, 10), (40, 40)])
+def test_rgetf2_reconstructs_input(m, n):
+    A = randn(m, n, seed=m + n)
+    res = rgetf2(A)
+    assert np.allclose(lu_reconstruct(res), A, atol=1e-11)
+
+
+@pytest.mark.parametrize("n", [3, 8, 21, 48])
+def test_rgetf2_same_pivots_as_classic(n):
+    """The recursive kernel applies partial pivoting, so pivot choices match."""
+    A = randn(n, seed=n * 7)
+    assert np.array_equal(rgetf2(A).perm, getf2(A).perm)
+
+
+@pytest.mark.parametrize("threshold", [1, 2, 4, 16])
+def test_rgetf2_threshold_does_not_change_result(threshold):
+    A = randn(24, 12, seed=5)
+    base = rgetf2(A, threshold=8)
+    other = rgetf2(A, threshold=threshold)
+    assert np.allclose(base.lu, other.lu, atol=1e-12)
+    assert np.array_equal(base.perm, other.perm)
+
+
+def test_rgetf2_rejects_wide_matrix():
+    with pytest.raises(ValueError):
+        rgetf2(randn(4, 8, seed=1))
+
+
+def test_rgetf2_flops_close_to_classic():
+    """Same arithmetic to leading order (recursion only reorganises it)."""
+    A = randn(48, 24, seed=9)
+    f1, f2 = FlopCounter(), FlopCounter()
+    getf2(A, flops=f1)
+    rgetf2(A, flops=f2)
+    assert f2.muladds == pytest.approx(f1.muladds, rel=0.05)
+
+
+def test_rgetf2_single_column():
+    A = randn(10, 1, seed=2)
+    res = rgetf2(A)
+    assert np.allclose(lu_reconstruct(res), A, atol=1e-13)

@@ -1,0 +1,72 @@
+"""Edge-case tests for the distributed block-LU driver shared by CALU and PDGETRF."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.layouts import ProcessGrid
+from repro.machines import unit_machine
+from repro.parallel import pcalu
+from repro.randmat import diagonally_dominant, randn
+from repro.scalapack import pdgetrf
+
+
+@pytest.mark.parametrize("fn", [pcalu, pdgetrf])
+def test_matrix_smaller_than_one_block(fn):
+    """The whole matrix fits in a single panel: no trailing update at all."""
+    A = randn(6, seed=1)
+    res = fn(A, ProcessGrid(2, 2), block_size=8)
+    assert np.allclose(A[res.perm, :], res.L @ res.U, atol=1e-12)
+
+
+@pytest.mark.parametrize("fn", [pcalu, pdgetrf])
+def test_tall_rectangular_matrix(fn):
+    A = randn(40, seed=2)[:, :16]
+    res = fn(A, ProcessGrid(2, 2), block_size=4)
+    assert res.L.shape == (40, 16)
+    assert np.allclose(A[res.perm, :], res.L @ res.U, atol=1e-11)
+
+
+@pytest.mark.parametrize("fn", [pcalu, pdgetrf])
+def test_grid_larger_than_block_rows(fn):
+    """More process rows than block rows: some ranks own nothing at times."""
+    A = randn(16, seed=3)
+    res = fn(A, ProcessGrid(4, 2), block_size=4)
+    assert np.allclose(A[res.perm, :], res.L @ res.U, atol=1e-11)
+
+
+@pytest.mark.parametrize("fn", [pcalu, pdgetrf])
+def test_no_pivoting_needed_matrix(fn):
+    """Diagonally dominant input: the factorization should barely permute."""
+    A = diagonally_dominant(24, seed=4)
+    res = fn(A, ProcessGrid(2, 2), block_size=6)
+    assert np.allclose(A[res.perm, :], res.L @ res.U, atol=1e-11)
+    # Diagonal dominance keeps every diagonal entry the column winner.
+    assert np.array_equal(res.perm, np.arange(24))
+
+
+def test_wide_grid_and_tall_grid_agree_numerically():
+    A = randn(36, seed=5)
+    r1 = pcalu(A, ProcessGrid(1, 4), block_size=6, machine=unit_machine())
+    r2 = pcalu(A, ProcessGrid(4, 1), block_size=6, machine=unit_machine())
+    assert np.allclose(A[r1.perm, :], r1.L @ r1.U, atol=1e-11)
+    assert np.allclose(A[r2.perm, :], r2.L @ r2.U, atol=1e-11)
+    # A single process row means no column-network traffic for the panel.
+    assert r1.trace.messages_by_channel("col") <= r2.trace.messages_by_channel("col")
+
+
+def test_swaps_recorded_match_permutation():
+    from repro.scalapack import apply_swaps_to_permutation
+
+    A = randn(32, seed=6)
+    res = pdgetrf(A, ProcessGrid(2, 2), block_size=8)
+    perm = apply_swaps_to_permutation(np.arange(32), res.swaps)
+    assert np.array_equal(perm, res.perm)
+
+
+def test_all_ranks_return_identical_swap_lists():
+    A = randn(24, seed=7)
+    res = pcalu(A, ProcessGrid(2, 2), block_size=8)
+    swaps = [r["swaps"] for r in res.trace.results]
+    assert all(s == swaps[0] for s in swaps)

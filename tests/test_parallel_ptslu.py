@@ -1,0 +1,67 @@
+"""Tests for the distributed TSLU (SPMD on the virtual MPI)."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core import tslu
+from repro.machines import ibm_power5, unit_machine
+from repro.parallel import ptslu
+from repro.randmat import figure1_matrix, tall_skinny
+
+
+@pytest.mark.parametrize("nprocs", [1, 2, 4, 8])
+@pytest.mark.parametrize("layout", ["block", "block_cyclic"])
+def test_ptslu_factorization_correct(nprocs, layout):
+    A = tall_skinny(64, 8, seed=nprocs)
+    res = ptslu(A, nprocs=nprocs, layout=layout)
+    assert np.allclose(A[res.perm, :], res.L @ res.U, atol=1e-10)
+    assert np.array_equal(np.sort(res.perm), np.arange(64))
+
+
+@pytest.mark.parametrize("nprocs", [2, 4, 8])
+def test_ptslu_message_count_is_log2P_per_rank(nprocs):
+    """The headline claim: TSLU needs only log2(P) messages per process."""
+    A = tall_skinny(64, 4, seed=3)
+    res = ptslu(A, nprocs=nprocs, machine=unit_machine())
+    assert res.trace.max_messages == math.log2(nprocs)
+
+
+def test_ptslu_matches_sequential_tslu_winners():
+    A = tall_skinny(64, 8, seed=5)
+    par = ptslu(A, nprocs=4, layout="block")
+    seq = tslu(A, nblocks=4, partition="contiguous")
+    assert np.array_equal(np.sort(par.winners), np.sort(seq.winners))
+
+
+def test_ptslu_figure1_example():
+    A = figure1_matrix()
+    res = ptslu(A, nprocs=4, layout="block_cyclic", block_size=2)
+    assert sorted(res.winners.tolist()) == [5, 10]
+
+
+@pytest.mark.parametrize("local_kernel", ["getf2", "rgetf2"])
+def test_ptslu_local_kernels_agree(local_kernel):
+    A = tall_skinny(48, 6, seed=7)
+    res = ptslu(A, nprocs=4, local_kernel=local_kernel)
+    ref = ptslu(A, nprocs=4, local_kernel="getf2")
+    assert np.array_equal(res.winners, ref.winners)
+
+
+def test_ptslu_words_per_rank_scale_with_b_squared():
+    b = 8
+    A = tall_skinny(128, b, seed=9)
+    res = ptslu(A, nprocs=4, machine=unit_machine())
+    # log2(4) = 2 messages of ~ (b^2 + b) words each.
+    expected = 2 * (b * b + b)
+    assert res.trace.max_words == pytest.approx(expected, rel=0.2)
+
+
+def test_ptslu_simulated_time_under_real_machine_is_positive():
+    A = tall_skinny(256, 16, seed=11)
+    res = ptslu(A, nprocs=8, machine=ibm_power5())
+    assert res.trace.critical_path_time > 0.0
+    assert res.trace.total_flops > 0.0

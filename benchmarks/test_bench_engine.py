@@ -1,0 +1,117 @@
+"""Benchmark: threaded vs deterministic event-driven execution engine.
+
+Records, in the benchmark JSON (``extra_info``):
+
+* wall-clock for the same simulated TSLU on both backends at moderate P,
+* the headline paper-scale run — a P = 256 distributed TSLU — with the
+  measured threaded-vs-event speedup and a cross-backend parity check of the
+  simulated quantities,
+* the failure-path gap: a genuine communication mismatch costs the threaded
+  backend its full receive timeout, while the event engine detects the
+  deadlock structurally in microseconds,
+* the maximum process count exercised (P = 888, the paper's largest).
+
+The simulated message/word/flop counts and critical-path times are identical
+across engines by construction; these benchmarks track the *host* cost of
+executing the simulation.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.distsim import DeadlockError, RankFailedError, run_spmd
+from repro.machines import unit_machine
+from repro.parallel import ptslu
+from repro.randmat import tall_skinny
+
+
+def _tslu(engine: str, P: int, b: int = 4):
+    A = tall_skinny(4 * P, b, seed=1)
+    return ptslu(A, nprocs=P, machine=unit_machine(), engine=engine)
+
+
+@pytest.mark.parametrize("engine", ["threaded", "event"])
+def test_bench_engine_tslu_p32(benchmark, engine):
+    """Same simulated TSLU (P = 32) on both backends."""
+    res = benchmark.pedantic(_tslu, args=(engine, 32), rounds=3, iterations=1)
+    assert res.trace.max_messages == 5  # log2(32)
+    benchmark.extra_info["engine"] = engine
+    benchmark.extra_info["P"] = 32
+
+
+def test_bench_engine_paper_scale_tslu_p256(benchmark):
+    """P = 256 distributed TSLU — the paper-scale run the event engine was
+    built for — with the threaded backend timed alongside for the speedup."""
+    P = 256
+    res_event = benchmark.pedantic(_tslu, args=("event", P), rounds=1, iterations=1)
+
+    start = time.perf_counter()
+    res_threaded = _tslu("threaded", P)
+    threaded_seconds = time.perf_counter() - start
+    event_seconds = benchmark.stats.stats.mean
+
+    # Identical simulated quantities across backends (the engine contract).
+    assert res_event.trace.summary() == res_threaded.trace.summary()
+    assert np.array_equal(res_event.winners, res_threaded.winners)
+    assert res_event.trace.max_messages == 8  # log2(256)
+
+    speedup = threaded_seconds / event_seconds if event_seconds > 0 else float("inf")
+    benchmark.extra_info["P"] = P
+    benchmark.extra_info["threaded_seconds"] = threaded_seconds
+    benchmark.extra_info["event_seconds"] = event_seconds
+    benchmark.extra_info["speedup_threaded_over_event"] = speedup
+    print(f"\nP={P} TSLU: event {event_seconds:.3f}s, threaded {threaded_seconds:.3f}s, "
+          f"speedup {speedup:.2f}x")
+    # The event engine must not lose to the threaded backend (0.8 margin
+    # absorbs host noise; on multi-core hosts the gap widens in its favor).
+    assert speedup > 0.8
+
+
+def test_bench_engine_deadlock_detection_gap(benchmark):
+    """Failure path: a communication mismatch is where the threaded backend
+    truly cannot respond in comparable time — it burns the full receive
+    timeout, while the event engine fails structurally and instantly."""
+
+    def mismatch(comm):
+        if comm.rank == 1:
+            return comm.recv(0, tag="never-sent")
+
+    def event_deadlock():
+        with pytest.raises(RankFailedError) as exc:
+            run_spmd(2, mismatch, engine="event")
+        assert isinstance(exc.value.__cause__, DeadlockError)
+
+    benchmark.pedantic(event_deadlock, rounds=3, iterations=1)
+    event_seconds = benchmark.stats.stats.mean
+
+    threaded_timeout = 2.0
+    start = time.perf_counter()
+    with pytest.raises(RankFailedError):
+        run_spmd(2, mismatch, engine="threaded", timeout=threaded_timeout)
+    threaded_seconds = time.perf_counter() - start
+
+    assert threaded_seconds >= threaded_timeout  # pays the timeout in full
+    assert event_seconds < 0.1                   # structural: no waiting
+    benchmark.extra_info["threaded_timeout_seconds"] = threaded_seconds
+    benchmark.extra_info["event_seconds"] = event_seconds
+    benchmark.extra_info["detection_speedup"] = threaded_seconds / max(
+        event_seconds, 1e-9
+    )
+
+
+def test_bench_engine_max_p_888(benchmark):
+    """The paper's largest process count, P = 888, on the event engine."""
+    P, b = 888, 4
+    A = tall_skinny(2 * P, b, seed=2)
+    res = benchmark.pedantic(
+        lambda: ptslu(A, nprocs=P, machine=unit_machine(), engine="event"),
+        rounds=1,
+        iterations=1,
+    )
+    assert np.allclose(A[res.perm, :], res.L @ res.U, atol=1e-9)
+    benchmark.extra_info["P"] = P
+    benchmark.extra_info["max_messages_per_rank"] = res.trace.max_messages

@@ -8,7 +8,10 @@ calibrated IBM POWER5 and Cray XT4 machine models and prints:
 * Tables 5-6: the PDGETRF / CALU time ratio and CALU GFLOP/s,
 * Table 7: the best-CALU vs best-PDGETRF speedup per matrix size,
 * a latency/bandwidth/flops breakdown for one configuration, showing where
-  CALU's advantage comes from.
+  CALU's advantage comes from,
+* a simulator cross-check at the paper's process counts: measured TSLU
+  message counts at P = 64..888 on the deterministic event engine, which is
+  what makes those process counts tractable in pure Python.
 
 Run with::
 
@@ -18,6 +21,7 @@ Run with::
 from __future__ import annotations
 
 from repro.experiments import factorization_tables, format_table, panel_tables
+from repro.experiments.validation import measure_panel_scaling
 from repro.machines import ibm_power5
 from repro.models import calu_cost, pdgetrf_cost
 
@@ -57,6 +61,13 @@ def main() -> None:
         print(f"  {name:8s}: arithmetic={bd['arithmetic']:.4e}s  "
               f"latency={bd['latency']:.4e}s  bandwidth={bd['bandwidth']:.4e}s  "
               f"total={bd['total']:.4e}s")
+
+    print("\n== Simulator cross-check: TSLU messages at paper-scale P "
+          "(deterministic event engine) ==")
+    rows = measure_panel_scaling(Ps=(64, 128, 256, 888), b=4, rows_per_rank=8)
+    print(format_table(
+        rows, columns=["P", "m", "b", "max_messages_per_rank", "expected_log2P"]
+    ))
 
 
 if __name__ == "__main__":

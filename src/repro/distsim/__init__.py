@@ -1,9 +1,35 @@
 """Virtual message-passing runtime with α-β-γ cost accounting.
 
-This is the stand-in for MPI + a parallel machine: SPMD rank functions run in
-threads, exchange messages through :class:`~repro.distsim.vmpi.Communicator`,
-and every message/word/flop is charged to a per-rank trace priced under a
+This is the stand-in for MPI + a parallel machine: SPMD rank functions
+exchange messages through :class:`~repro.distsim.vmpi.Communicator`, and
+every message/word/flop is charged to a per-rank trace priced under a
 :class:`~repro.machines.model.MachineModel`.
+
+Two execution backends are available (see :mod:`repro.distsim.engine`):
+
+``threaded``
+    The original backend: one OS thread per rank, OS-scheduled, with a
+    real-time timeout guarding blocking receives.  Its host-side interleaving
+    is nondeterministic and it degrades beyond a few dozen ranks (GIL
+    contention, thread startup), but rank programs that release the GIL can
+    overlap for real.
+``event``
+    A deterministic single-process discrete-event scheduler: exactly one rank
+    runs at a time, and the next runnable rank is always the one with the
+    smallest ``(simulated clock, rank)``.  Deadlock is detected structurally
+    (no rank runnable ⇒ fail immediately), traces are bit-for-bit
+    reproducible across runs, and process counts at the paper's scale
+    (P = 64…888 and beyond) are practical.
+
+**Determinism guarantee** — the simulated quantities (message counts, word
+counts, flop counts, per-rank clocks and hence critical-path times) are a
+pure function of the rank programs and the machine model.  They are identical
+across *both* backends and across repeated runs; the event engine
+additionally makes the host-side execution order itself reproducible.
+
+Select a backend with ``run_spmd(..., engine="event")``, the
+``REPRO_VMPI_ENGINE`` environment variable, or register your own via
+:func:`repro.distsim.engine.register_engine`.
 """
 
 from .collectives import (
@@ -15,14 +41,34 @@ from .collectives import (
     reduce,
     scatter,
 )
+from .engine import (
+    ExecutionEngine,
+    available_engines,
+    get_engine,
+    register_engine,
+    resolve_engine,
+)
 from .errors import DeadlockError, RankFailedError, SimulationError
 from .tracing import RankTrace, RunTrace
-from .vmpi import Communicator, payload_words, run_spmd
+from .vmpi import (
+    DEFAULT_TIMEOUT,
+    Communicator,
+    default_timeout,
+    payload_words,
+    run_spmd,
+)
 
 __all__ = [
     "Communicator",
     "run_spmd",
     "payload_words",
+    "DEFAULT_TIMEOUT",
+    "default_timeout",
+    "ExecutionEngine",
+    "available_engines",
+    "get_engine",
+    "register_engine",
+    "resolve_engine",
     "RankTrace",
     "RunTrace",
     "SimulationError",

@@ -1,0 +1,113 @@
+"""Pluggable execution engines for the virtual MPI.
+
+An engine decides how the ``P`` rank programs of an SPMD run execute on the
+host; the simulated cost model is engine-independent.  Two backends ship:
+
+``threaded``
+    One OS thread per rank, OS-scheduled, timeout-guarded receives — the
+    original backend, useful when rank programs release the GIL.
+``event``
+    Deterministic single-runner discrete-event scheduler (thread-baton
+    handoff ordered by simulated clock): bit-for-bit reproducible traces,
+    structural deadlock detection, and practical at paper-scale process
+    counts (``P`` ≥ 888).
+
+Select an engine per call (``run_spmd(..., engine="event")``), process-wide
+via the ``REPRO_VMPI_ENGINE`` environment variable, or register a custom one
+with :func:`register_engine`.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Callable, Dict, Optional, Union
+
+from .base import (
+    DEFAULT_TIMEOUT,
+    Communicator,
+    Envelope,
+    ExecutionEngine,
+    default_timeout,
+    payload_words,
+)
+from .event import EventCommunicator, EventEngine
+from .threaded import ThreadedCommunicator, ThreadedEngine
+
+#: Engine used when neither ``engine=`` nor ``REPRO_VMPI_ENGINE`` is given.
+DEFAULT_ENGINE = "threaded"
+
+_REGISTRY: Dict[str, Callable[[], ExecutionEngine]] = {
+    ThreadedEngine.name: ThreadedEngine,
+    EventEngine.name: EventEngine,
+}
+
+_ALIASES = {
+    "thread": "threaded",
+    "threads": "threaded",
+    "event-driven": "event",
+    "deterministic": "event",
+}
+
+
+def available_engines() -> list:
+    """Names of the registered execution engines."""
+    return sorted(_REGISTRY)
+
+
+def register_engine(name: str, factory: Callable[[], ExecutionEngine]) -> None:
+    """Register a custom engine factory under ``name`` (overwrites existing)."""
+    _REGISTRY[name] = factory
+
+
+def get_engine(name: str) -> ExecutionEngine:
+    """Instantiate the engine registered under ``name`` (aliases accepted).
+
+    Exact registry entries win over aliases, so a custom engine registered
+    under an alias name is reachable.
+    """
+    factory = _REGISTRY.get(name) or _REGISTRY.get(_ALIASES.get(name, name))
+    if factory is None:
+        raise ValueError(
+            f"unknown execution engine {name!r}; available: {available_engines()}"
+        )
+    return factory()
+
+
+def resolve_engine(
+    engine: Union[None, str, ExecutionEngine] = None
+) -> ExecutionEngine:
+    """Resolve an ``engine=`` argument to an :class:`ExecutionEngine` instance.
+
+    ``None`` falls back to the ``REPRO_VMPI_ENGINE`` environment variable and
+    then to :data:`DEFAULT_ENGINE`; strings are looked up in the registry;
+    instances pass through.
+    """
+    if engine is None:
+        engine = os.environ.get("REPRO_VMPI_ENGINE") or DEFAULT_ENGINE
+    if isinstance(engine, ExecutionEngine):
+        return engine
+    if isinstance(engine, str):
+        return get_engine(engine)
+    raise TypeError(
+        f"engine must be None, a registered name, or an ExecutionEngine; "
+        f"got {type(engine).__name__}"
+    )
+
+
+__all__ = [
+    "Communicator",
+    "Envelope",
+    "ExecutionEngine",
+    "ThreadedCommunicator",
+    "ThreadedEngine",
+    "EventCommunicator",
+    "EventEngine",
+    "DEFAULT_ENGINE",
+    "DEFAULT_TIMEOUT",
+    "default_timeout",
+    "payload_words",
+    "available_engines",
+    "register_engine",
+    "get_engine",
+    "resolve_engine",
+]

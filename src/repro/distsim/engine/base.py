@@ -1,0 +1,352 @@
+"""Shared machinery of the virtual-MPI execution engines.
+
+An *execution engine* decides how the ``P`` rank programs of an SPMD run are
+interleaved on the host machine; it has no influence on the simulated
+quantities.  All cost accounting — words per payload, clock advancement for
+arithmetic and messages, the per-rank trace counters — lives here in
+:class:`Communicator`, which both backends subclass.  A backend supplies only
+the *transport*: how an envelope travels from sender to receiver
+(:meth:`Communicator._deliver`) and how a rank waits for a matching message
+(:meth:`Communicator._match`).
+
+Because every simulated quantity is computed in this shared base from the
+rank program's own sequence of calls, the two backends produce identical
+message counts, word counts, flop counts and critical-path times for the same
+program — the property the cross-backend test suite pins down.
+
+Zero-copy payload accounting
+----------------------------
+``send`` normally copies numpy payloads defensively so that a sender mutating
+its buffer after the call cannot race the receiver.  An engine may opt into
+*copy elision* (``copy_elision = True``): when the payload is a fresh
+temporary — a base ndarray owning its data whose only references are the
+call frames of the send itself — the sender provably holds no handle through
+which it could later mutate the buffer, so ownership can be transferred to
+the receiver without a copy.  The words charged are identical either way;
+only the defensive ``ndarray.copy()`` is skipped.  Elided sends are counted
+in :attr:`~repro.distsim.tracing.RankTrace.zero_copy_sends`.
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+from typing import Any, Callable, List, Optional, Tuple
+
+import numpy as np
+
+from ...kernels.flops import FlopCounter
+from ...machines.model import MachineModel
+from ..errors import DeadlockError, RankFailedError
+from ..tracing import RankTrace, RunTrace
+
+#: Fallback number of seconds a blocking receive waits before declaring
+#: deadlock (threaded backend only; the event backend detects deadlock
+#: structurally and never waits).  Overridable via ``REPRO_VMPI_TIMEOUT``.
+DEFAULT_TIMEOUT = 120.0
+
+
+def default_timeout() -> float:
+    """Resolve the deadlock timeout from ``REPRO_VMPI_TIMEOUT`` (else 120 s)."""
+    raw = os.environ.get("REPRO_VMPI_TIMEOUT")
+    if raw is None:
+        return DEFAULT_TIMEOUT
+    try:
+        return float(raw)
+    except ValueError:
+        return DEFAULT_TIMEOUT
+
+
+def payload_words(payload: Any) -> float:
+    """Estimate the size of a message payload in 8-byte words.
+
+    numpy arrays count their actual storage; scalars and small control
+    objects (pivot indices, flags) count 1 word each; tuples/lists/dicts count
+    the sum of their elements.  This mirrors how a real code would pack the
+    same information into MPI buffers.
+    """
+    if isinstance(payload, np.ndarray):
+        return float(payload.size * payload.itemsize) / 8.0
+    if isinstance(payload, (int, float, np.integer, np.floating, bool)) or payload is None:
+        return 1.0
+    if isinstance(payload, (tuple, list)):
+        return float(sum(payload_words(x) for x in payload)) if payload else 1.0
+    if isinstance(payload, dict):
+        return float(sum(payload_words(v) for v in payload.values())) if payload else 1.0
+    if isinstance(payload, str):
+        return max(1.0, len(payload) / 8.0)
+    return 1.0
+
+
+@dataclass
+class Envelope:
+    """Internal wrapper around a message in flight."""
+
+    source: int
+    tag: Any
+    payload: Any
+    words: float
+    available_at: float  # simulated time at which the receiver may consume it
+
+
+def _calibrate_fresh_refcount() -> int:
+    """Reference count observed for a payload that is a pure temporary.
+
+    Mirrors the frame depth of ``send -> _prepare_payload -> _can_elide_copy
+    -> sys.getrefcount`` so the threshold adapts to how the running Python
+    implementation accounts call-argument references.
+    """
+    if not hasattr(sys, "getrefcount"):  # pragma: no cover - non-CPython
+        return 0
+
+    def probe(x: Any) -> int:
+        return sys.getrefcount(x)
+
+    def middle(x: Any) -> int:
+        return probe(x)
+
+    def outer(x: Any) -> int:
+        return middle(x)
+
+    return outer(np.empty(0))
+
+
+_FRESH_REFCOUNT = _calibrate_fresh_refcount()
+
+
+def _can_elide_copy(arr: np.ndarray) -> bool:
+    """True when ``arr`` is provably unreachable by the sender after ``send``.
+
+    The proof: a base-class ndarray that owns its data and whose only
+    references are the frames of the in-flight send call cannot be mutated by
+    the sender afterwards (the sender retains no name bound to it), so handing
+    it to the receiver without a defensive copy cannot alias.
+    """
+    return (
+        _FRESH_REFCOUNT > 0
+        and type(arr) is np.ndarray
+        and arr.base is None
+        and arr.flags.owndata
+        and sys.getrefcount(arr) <= _FRESH_REFCOUNT
+    )
+
+
+class Communicator(ABC):
+    """Handle through which a rank communicates and charges costs.
+
+    The interface intentionally mirrors a small subset of mpi4py:
+    :meth:`send`, :meth:`recv`, plus collective operations provided as free
+    functions in :mod:`repro.distsim.collectives`.  Concrete engines supply
+    the transport by implementing :meth:`_deliver` and :meth:`_match`.
+    """
+
+    #: Engines that serialize or otherwise control rank execution may enable
+    #: defensive-copy elision for provably unaliased payloads.
+    copy_elision: bool = False
+
+    def __init__(
+        self,
+        rank: int,
+        size: int,
+        machine: MachineModel,
+        trace: RankTrace,
+    ) -> None:
+        self._rank = rank
+        self._size = size
+        self._machine = machine
+        self._trace = trace
+        # Messages received but not yet matched by tag/source.
+        self._stash: List[Envelope] = []
+
+    # ------------------------------------------------------------------ info
+    @property
+    def rank(self) -> int:
+        """This process's rank in ``0..size-1``."""
+        return self._rank
+
+    @property
+    def size(self) -> int:
+        """Number of processes in the run."""
+        return self._size
+
+    @property
+    def machine(self) -> MachineModel:
+        """The machine model pricing this run."""
+        return self._machine
+
+    @property
+    def trace(self) -> RankTrace:
+        """This rank's cost trace (counters and simulated clock)."""
+        return self._trace
+
+    @property
+    def clock(self) -> float:
+        """Current simulated time of this rank."""
+        return self._trace.clock
+
+    # ------------------------------------------------------------- computing
+    def charge_flops(
+        self, muladds: float = 0.0, divides: float = 0.0, comparisons: float = 0.0
+    ) -> None:
+        """Charge arithmetic to this rank and advance its simulated clock."""
+        self._trace.flops.add_muladds(muladds)
+        self._trace.flops.add_divides(divides)
+        self._trace.flops.add_comparisons(comparisons)
+        self._trace.clock += self._machine.compute_time(muladds, divides, comparisons)
+
+    def charge_counter(self, counter: FlopCounter) -> None:
+        """Charge the contents of a :class:`FlopCounter` (and reset it).
+
+        Sequential kernels accumulate into a scratch counter; calling this
+        transfers the work to the rank and zeroes the scratch counter so it
+        can be reused.
+        """
+        self.charge_flops(counter.muladds, counter.divides, counter.comparisons)
+        counter.reset()
+
+    def advance_clock(self, seconds: float) -> None:
+        """Advance the simulated clock without recording arithmetic (e.g. I/O)."""
+        if seconds < 0:
+            raise ValueError("cannot move the simulated clock backwards")
+        self._trace.clock += seconds
+
+    # --------------------------------------------------------- point-to-point
+    def send(self, dest: int, payload: Any, tag: Any = 0, channel: str = "any") -> None:
+        """Send ``payload`` to rank ``dest`` (blocking in MPI terms, but buffered).
+
+        Parameters
+        ----------
+        dest:
+            Destination rank.
+        payload:
+            Any picklable object; numpy arrays are copied defensively so later
+            mutation by the sender cannot race the receiver — unless the
+            engine can prove the payload is a fresh temporary (see the module
+            docstring on zero-copy accounting).
+        tag:
+            Message tag used for matching.
+        channel:
+            "col", "row" or "any" — selects which latency/bandwidth parameters
+            of the machine model price this message.
+        """
+        if not (0 <= dest < self._size):
+            raise ValueError(f"invalid destination rank {dest}")
+        if dest == self._rank:
+            raise ValueError("self-sends are not supported; restructure the algorithm")
+        zero_copy = False
+        if isinstance(payload, np.ndarray):
+            payload, zero_copy = self._prepare_payload(payload)
+        words = payload_words(payload)
+        cost = self._machine.message_time(words, channel)
+        self._trace.record_send(words, channel, zero_copy=zero_copy)
+        self._trace.clock += cost
+        env = Envelope(
+            source=self._rank,
+            tag=tag,
+            payload=payload,
+            words=words,
+            available_at=self._trace.clock,
+        )
+        self._deliver(dest, env)
+
+    def recv(self, source: int, tag: Any = 0) -> Any:
+        """Receive a message from ``source`` with matching ``tag``.
+
+        Blocks until a matching message arrives (the threaded backend guards
+        the wait with a deadlock timeout; the event backend detects deadlock
+        structurally).  The rank's simulated clock is advanced to at least the
+        time at which the message became available on the sender's side.
+        """
+        env = self._match(source, tag)
+        self._trace.record_recv(env.words)
+        self._trace.clock = max(self._trace.clock, env.available_at)
+        return env.payload
+
+    def sendrecv(
+        self,
+        dest: int,
+        payload: Any,
+        source: Optional[int] = None,
+        tag: Any = 0,
+        channel: str = "any",
+    ) -> Any:
+        """Exchange messages with a partner (send to ``dest``, receive from ``source``).
+
+        ``source`` defaults to ``dest`` — the pairwise exchange used at every
+        level of the TSLU butterfly.
+        """
+        if source is None:
+            source = dest
+        self.send(dest, payload, tag=tag, channel=channel)
+        return self.recv(source, tag=tag)
+
+    # ---------------------------------------------------------------- helpers
+    def _prepare_payload(self, arr: np.ndarray) -> Tuple[np.ndarray, bool]:
+        """Return the array to enqueue and whether the defensive copy was elided."""
+        if self.copy_elision and _can_elide_copy(arr):
+            return arr, True
+        return arr.copy(), False
+
+    # ------------------------------------------------------ transport (engine)
+    @abstractmethod
+    def _deliver(self, dest: int, env: Envelope) -> None:
+        """Hand an envelope to rank ``dest``'s incoming message store."""
+
+    @abstractmethod
+    def _match(self, source: int, tag: Any) -> Envelope:
+        """Block until a message matching ``(source, tag)`` is available."""
+
+
+class ExecutionEngine(ABC):
+    """Strategy deciding how the ``P`` rank programs are executed.
+
+    Engines are registered in :mod:`repro.distsim.engine` and selected via the
+    ``engine=`` argument of :func:`repro.distsim.run_spmd` (or the
+    ``REPRO_VMPI_ENGINE`` environment variable).
+    """
+
+    #: Registry name of the engine.
+    name: str = "abstract"
+    #: Whether repeated runs of the same program produce bit-identical traces
+    #: *and* identical host-side execution order.
+    deterministic: bool = False
+
+    @abstractmethod
+    def run(
+        self,
+        nprocs: int,
+        fn: Callable[..., Any],
+        args: Tuple[Any, ...],
+        kwargs: dict,
+        machine: MachineModel,
+        timeout: float,
+    ) -> RunTrace:
+        """Execute ``fn(comm, *args, **kwargs)`` on ``nprocs`` virtual ranks."""
+
+    # ------------------------------------------------------- shared epilogue
+    def _finish_run(
+        self,
+        traces: List[RankTrace],
+        results: List[Any],
+        failures: "dict[int, BaseException]",
+    ) -> RunTrace:
+        """Raise on rank failures, else assemble the run trace.
+
+        When ranks failed for mixed reasons, the chained ``__cause__`` is the
+        lowest-ranked *root* failure: DeadlockErrors are secondary whenever a
+        rank crashed outright (its crash is what left the others waiting), so
+        they are only used as the cause when every failure is a deadlock.
+        """
+        if failures:
+            cause = next(
+                (
+                    failures[r]
+                    for r in sorted(failures)
+                    if not isinstance(failures[r], DeadlockError)
+                ),
+                failures[min(failures)],
+            )
+            raise RankFailedError(failures) from cause
+        return RunTrace(ranks=traces, results=results, engine=self.name)

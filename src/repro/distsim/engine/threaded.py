@@ -1,0 +1,109 @@
+"""The threaded execution engine (the original virtual-MPI backend).
+
+One OS thread per rank; point-to-point messages travel through per-rank
+:class:`queue.Queue` mailboxes.  Blocking receives are guarded by a real-time
+timeout, after which a :class:`~repro.distsim.errors.DeadlockError` is raised
+— the interleaving of rank programs is whatever the OS scheduler produces, so
+deadlock cannot be detected structurally here.
+
+The simulated quantities (counts, words, flops, clocks) are computed entirely
+in :class:`~repro.distsim.engine.base.Communicator` and are therefore
+identical to the deterministic event engine's; only host-side execution
+differs.  Prefer this backend when rank programs call into code that releases
+the GIL for long stretches and real parallelism helps; prefer the event
+engine for determinism and for large ``P``.
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+from typing import Any, Callable, Dict, List, Sequence, Tuple
+
+from ...machines.model import MachineModel
+from ..errors import DeadlockError
+from ..tracing import RankTrace, RunTrace
+from .base import Communicator, Envelope, ExecutionEngine
+
+
+class ThreadedCommunicator(Communicator):
+    """Communicator whose transport is a per-rank thread-safe mailbox queue."""
+
+    def __init__(
+        self,
+        rank: int,
+        size: int,
+        mailboxes: Sequence["queue.Queue[Envelope]"],
+        machine: MachineModel,
+        trace: RankTrace,
+        timeout: float,
+    ) -> None:
+        super().__init__(rank, size, machine, trace)
+        self._mailboxes = mailboxes
+        self._timeout = timeout
+
+    def _deliver(self, dest: int, env: Envelope) -> None:
+        self._mailboxes[dest].put(env)
+
+    def _match(self, source: int, tag: Any) -> Envelope:
+        for i, env in enumerate(self._stash):
+            if env.source == source and env.tag == tag:
+                return self._stash.pop(i)
+        deadline_budget = self._timeout
+        while True:
+            try:
+                env = self._mailboxes[self._rank].get(timeout=deadline_budget)
+            except queue.Empty as exc:
+                raise DeadlockError(
+                    f"rank {self._rank} timed out waiting for message "
+                    f"(source={source}, tag={tag!r})"
+                ) from exc
+            if env.source == source and env.tag == tag:
+                return env
+            self._stash.append(env)
+
+
+class ThreadedEngine(ExecutionEngine):
+    """One real thread per rank, OS-scheduled, timeout-based deadlock guard."""
+
+    name = "threaded"
+    deterministic = False
+
+    def run(
+        self,
+        nprocs: int,
+        fn: Callable[..., Any],
+        args: Tuple[Any, ...],
+        kwargs: dict,
+        machine: MachineModel,
+        timeout: float,
+    ) -> RunTrace:
+        mailboxes: List["queue.Queue[Envelope]"] = [queue.Queue() for _ in range(nprocs)]
+        traces = [RankTrace(rank=r) for r in range(nprocs)]
+        results: List[Any] = [None] * nprocs
+        failures: Dict[int, BaseException] = {}
+
+        def worker(rank: int) -> None:
+            comm = ThreadedCommunicator(
+                rank, nprocs, mailboxes, machine, traces[rank], timeout
+            )
+            try:
+                results[rank] = fn(comm, *args, **kwargs)
+            except BaseException as exc:  # noqa: BLE001 - reported to the caller
+                failures[rank] = exc
+
+        if nprocs == 1:
+            worker(0)
+        else:
+            threads = [
+                threading.Thread(
+                    target=worker, args=(r,), name=f"vmpi-rank-{r}", daemon=True
+                )
+                for r in range(nprocs)
+            ]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join()
+
+        return self._finish_run(traces, results, failures)

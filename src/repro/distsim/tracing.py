@@ -40,6 +40,11 @@ class RankTrace:
     clock:
         Simulated time (seconds under the run's machine model) at which the
         rank has finished everything it has done so far.
+    zero_copy_sends:
+        Number of sends whose defensive numpy copy was elided because the
+        engine proved the payload could not alias (see
+        :mod:`repro.distsim.engine.base`).  Purely diagnostic — the words
+        charged are identical either way.
     """
 
     rank: int
@@ -51,13 +56,16 @@ class RankTrace:
     words_by_channel: Dict[str, float] = field(default_factory=dict)
     flops: FlopCounter = field(default_factory=FlopCounter)
     clock: float = 0.0
+    zero_copy_sends: int = 0
 
-    def record_send(self, words: float, channel: str) -> None:
+    def record_send(self, words: float, channel: str, zero_copy: bool = False) -> None:
         """Record one outgoing message of ``words`` 8-byte words."""
         self.messages_sent += 1
         self.words_sent += words
         self.messages_by_channel[channel] = self.messages_by_channel.get(channel, 0) + 1
         self.words_by_channel[channel] = self.words_by_channel.get(channel, 0.0) + words
+        if zero_copy:
+            self.zero_copy_sends += 1
 
     def record_recv(self, words: float) -> None:
         """Record one incoming message of ``words`` 8-byte words."""
@@ -75,10 +83,14 @@ class RunTrace:
         The per-rank traces, indexed by rank.
     results:
         The values returned by each rank's SPMD function.
+    engine:
+        Name of the execution engine that produced this trace ("threaded",
+        "event", ...); empty for hand-built traces.
     """
 
     ranks: List[RankTrace]
     results: List[object] = field(default_factory=list)
+    engine: str = ""
 
     @property
     def nprocs(self) -> int:

@@ -1,19 +1,37 @@
-"""A virtual MPI: threaded SPMD ranks with α-β-γ cost accounting.
+"""A virtual MPI: SPMD ranks with α-β-γ cost accounting, pluggable engines.
 
 The paper's experiments ran on MPI over 64-888 processors.  This module
-provides an in-process substitute: :func:`run_spmd` launches ``P`` Python
-threads, each executing the same rank function with a :class:`Communicator`
-bound to its rank.  Point-to-point messages travel through in-memory queues;
-collectives (:mod:`repro.distsim.collectives`) are built from point-to-point
-messages, so every message a real MPI implementation would send is visible to
-the cost ledger.
+provides an in-process substitute: :func:`run_spmd` executes ``P`` copies of
+the same rank function, each bound to a :class:`Communicator` for its rank.
+Point-to-point messages travel through the engine's transport; collectives
+(:mod:`repro.distsim.collectives`) are built from point-to-point messages, so
+every message a real MPI implementation would send is visible to the cost
+ledger.
+
+Execution engines
+-----------------
+*How* the rank programs are interleaved on the host is delegated to a
+pluggable :class:`~repro.distsim.engine.base.ExecutionEngine`
+(:mod:`repro.distsim.engine`):
+
+* ``"threaded"`` (default) — one OS thread per rank, timeout-guarded
+  receives; the original backend.
+* ``"event"`` — a deterministic single-runner discrete-event scheduler that
+  resumes the runnable rank with the smallest simulated clock, detects
+  deadlock structurally, and scales to the paper's process counts (P ≥ 888).
+
+Both engines charge costs through the same shared
+:class:`~repro.distsim.engine.base.Communicator`, so the simulated message /
+word / flop counts and critical-path times are **identical** across engines
+for the same program; only host wall-clock behavior differs.
 
 Cost accounting
 ---------------
 Each rank owns a :class:`~repro.distsim.tracing.RankTrace` with a *simulated
 clock*.  The clock advances by
 
-* ``muladds·γ + divides·γ_d`` whenever the rank charges arithmetic,
+* ``muladds·γ + divides·γ_d + comparisons·γ_cmp`` whenever the rank charges
+  arithmetic,
 * ``α + w·β`` whenever the rank sends a message of ``w`` words,
 
 and a receive synchronises the receiver's clock with the message's
@@ -31,216 +49,28 @@ counts, flops, and their weighted sum) are reproduced exactly.
 
 from __future__ import annotations
 
-import queue
-import threading
-from dataclasses import dataclass
-from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+from typing import Any, Callable, Optional, Union
 
-import numpy as np
-
-from ..kernels.flops import FlopCounter
 from ..machines.model import MachineModel, unit_machine
-from .errors import DeadlockError, RankFailedError
-from .tracing import RankTrace, RunTrace
+from .engine import (
+    DEFAULT_TIMEOUT,
+    Communicator,
+    ExecutionEngine,
+    default_timeout,
+    payload_words,
+    resolve_engine,
+)
+from .engine.base import Envelope as _Envelope  # backwards-compatible alias
+from .errors import DeadlockError, RankFailedError  # noqa: F401 - re-export
+from .tracing import RunTrace
 
-#: Default number of seconds a blocking receive waits before declaring deadlock.
-DEFAULT_TIMEOUT = 120.0
-
-
-def payload_words(payload: Any) -> float:
-    """Estimate the size of a message payload in 8-byte words.
-
-    numpy arrays count their actual storage; scalars and small control
-    objects (pivot indices, flags) count 1 word each; tuples/lists/dicts count
-    the sum of their elements.  This mirrors how a real code would pack the
-    same information into MPI buffers.
-    """
-    if isinstance(payload, np.ndarray):
-        return float(payload.size * payload.itemsize) / 8.0
-    if isinstance(payload, (int, float, np.integer, np.floating, bool)) or payload is None:
-        return 1.0
-    if isinstance(payload, (tuple, list)):
-        return float(sum(payload_words(x) for x in payload)) if payload else 1.0
-    if isinstance(payload, dict):
-        return float(sum(payload_words(v) for v in payload.values())) if payload else 1.0
-    if isinstance(payload, str):
-        return max(1.0, len(payload) / 8.0)
-    return 1.0
-
-
-@dataclass
-class _Envelope:
-    """Internal wrapper around a message in flight."""
-
-    source: int
-    tag: Any
-    payload: Any
-    words: float
-    available_at: float  # simulated time at which the receiver may consume it
-
-
-class Communicator:
-    """Handle through which a rank communicates and charges costs.
-
-    The interface intentionally mirrors a small subset of mpi4py:
-    :meth:`send`, :meth:`recv`, plus collective operations provided as free
-    functions in :mod:`repro.distsim.collectives`.
-    """
-
-    def __init__(
-        self,
-        rank: int,
-        size: int,
-        mailboxes: Sequence["queue.Queue[_Envelope]"],
-        machine: MachineModel,
-        trace: RankTrace,
-        timeout: float = DEFAULT_TIMEOUT,
-    ) -> None:
-        self._rank = rank
-        self._size = size
-        self._mailboxes = mailboxes
-        self._machine = machine
-        self._trace = trace
-        self._timeout = timeout
-        # Messages received but not yet matched by tag/source.
-        self._stash: List[_Envelope] = []
-
-    # ------------------------------------------------------------------ info
-    @property
-    def rank(self) -> int:
-        """This process's rank in ``0..size-1``."""
-        return self._rank
-
-    @property
-    def size(self) -> int:
-        """Number of processes in the run."""
-        return self._size
-
-    @property
-    def machine(self) -> MachineModel:
-        """The machine model pricing this run."""
-        return self._machine
-
-    @property
-    def trace(self) -> RankTrace:
-        """This rank's cost trace (counters and simulated clock)."""
-        return self._trace
-
-    @property
-    def clock(self) -> float:
-        """Current simulated time of this rank."""
-        return self._trace.clock
-
-    # ------------------------------------------------------------- computing
-    def charge_flops(
-        self, muladds: float = 0.0, divides: float = 0.0, comparisons: float = 0.0
-    ) -> None:
-        """Charge arithmetic to this rank and advance its simulated clock."""
-        self._trace.flops.add_muladds(muladds)
-        self._trace.flops.add_divides(divides)
-        self._trace.flops.add_comparisons(comparisons)
-        self._trace.clock += self._machine.compute_time(muladds, divides)
-
-    def charge_counter(self, counter: FlopCounter) -> None:
-        """Charge the contents of a :class:`FlopCounter` (and reset it).
-
-        Sequential kernels accumulate into a scratch counter; calling this
-        transfers the work to the rank and zeroes the scratch counter so it
-        can be reused.
-        """
-        self.charge_flops(counter.muladds, counter.divides, counter.comparisons)
-        counter.reset()
-
-    def advance_clock(self, seconds: float) -> None:
-        """Advance the simulated clock without recording arithmetic (e.g. I/O)."""
-        if seconds < 0:
-            raise ValueError("cannot move the simulated clock backwards")
-        self._trace.clock += seconds
-
-    # --------------------------------------------------------- point-to-point
-    def send(self, dest: int, payload: Any, tag: Any = 0, channel: str = "any") -> None:
-        """Send ``payload`` to rank ``dest`` (blocking in MPI terms, but buffered).
-
-        Parameters
-        ----------
-        dest:
-            Destination rank.
-        payload:
-            Any picklable object; numpy arrays are passed by reference but
-            copied defensively so later mutation by the sender cannot race the
-            receiver.
-        tag:
-            Message tag used for matching.
-        channel:
-            "col", "row" or "any" — selects which latency/bandwidth parameters
-            of the machine model price this message.
-        """
-        if not (0 <= dest < self._size):
-            raise ValueError(f"invalid destination rank {dest}")
-        if dest == self._rank:
-            raise ValueError("self-sends are not supported; restructure the algorithm")
-        if isinstance(payload, np.ndarray):
-            payload = payload.copy()
-        words = payload_words(payload)
-        cost = self._machine.message_time(words, channel)
-        self._trace.record_send(words, channel)
-        self._trace.clock += cost
-        env = _Envelope(
-            source=self._rank,
-            tag=tag,
-            payload=payload,
-            words=words,
-            available_at=self._trace.clock,
-        )
-        self._mailboxes[dest].put(env)
-
-    def recv(self, source: int, tag: Any = 0) -> Any:
-        """Receive a message from ``source`` with matching ``tag``.
-
-        Blocks (with a deadlock timeout) until a matching message arrives.
-        The rank's simulated clock is advanced to at least the time at which
-        the message became available on the sender's side.
-        """
-        env = self._match(source, tag)
-        self._trace.record_recv(env.words)
-        self._trace.clock = max(self._trace.clock, env.available_at)
-        return env.payload
-
-    def sendrecv(
-        self,
-        dest: int,
-        payload: Any,
-        source: Optional[int] = None,
-        tag: Any = 0,
-        channel: str = "any",
-    ) -> Any:
-        """Exchange messages with a partner (send to ``dest``, receive from ``source``).
-
-        ``source`` defaults to ``dest`` — the pairwise exchange used at every
-        level of the TSLU butterfly.
-        """
-        if source is None:
-            source = dest
-        self.send(dest, payload, tag=tag, channel=channel)
-        return self.recv(source, tag=tag)
-
-    # ---------------------------------------------------------------- helpers
-    def _match(self, source: int, tag: Any) -> _Envelope:
-        for i, env in enumerate(self._stash):
-            if env.source == source and env.tag == tag:
-                return self._stash.pop(i)
-        deadline_budget = self._timeout
-        while True:
-            try:
-                env = self._mailboxes[self._rank].get(timeout=deadline_budget)
-            except queue.Empty as exc:
-                raise DeadlockError(
-                    f"rank {self._rank} timed out waiting for message "
-                    f"(source={source}, tag={tag!r})"
-                ) from exc
-            if env.source == source and env.tag == tag:
-                return env
-            self._stash.append(env)
+__all__ = [
+    "Communicator",
+    "run_spmd",
+    "payload_words",
+    "DEFAULT_TIMEOUT",
+    "default_timeout",
+]
 
 
 def run_spmd(
@@ -248,7 +78,8 @@ def run_spmd(
     fn: Callable[..., Any],
     *args: Any,
     machine: Optional[MachineModel] = None,
-    timeout: float = DEFAULT_TIMEOUT,
+    timeout: Optional[float] = None,
+    engine: Union[None, str, ExecutionEngine] = None,
     **kwargs: Any,
 ) -> RunTrace:
     """Run ``fn(comm, *args, **kwargs)`` on ``nprocs`` virtual ranks.
@@ -256,7 +87,7 @@ def run_spmd(
     Parameters
     ----------
     nprocs:
-        Number of ranks (threads) to launch.
+        Number of ranks to launch.
     fn:
         The SPMD program.  It receives a :class:`Communicator` as its first
         argument; its return value is collected into the result list.
@@ -264,7 +95,14 @@ def run_spmd(
         Machine model pricing communication and arithmetic; defaults to
         :func:`repro.machines.model.unit_machine` (count message steps).
     timeout:
-        Per-receive deadlock timeout in (real) seconds.
+        Per-receive deadlock timeout in (real) seconds — only meaningful for
+        the threaded engine; the event engine detects deadlock structurally.
+        Defaults to the ``REPRO_VMPI_TIMEOUT`` environment variable, else
+        120 s.
+    engine:
+        Execution engine: a registered name (``"threaded"``, ``"event"``), an
+        :class:`~repro.distsim.engine.base.ExecutionEngine` instance, or
+        ``None`` to use ``REPRO_VMPI_ENGINE`` / the threaded default.
 
     Returns
     -------
@@ -279,31 +117,7 @@ def run_spmd(
     if nprocs < 1:
         raise ValueError("need at least one rank")
     machine = machine or unit_machine()
-    mailboxes: List["queue.Queue[_Envelope]"] = [queue.Queue() for _ in range(nprocs)]
-    traces = [RankTrace(rank=r) for r in range(nprocs)]
-    results: List[Any] = [None] * nprocs
-    failures: Dict[int, BaseException] = {}
-
-    def worker(rank: int) -> None:
-        comm = Communicator(rank, nprocs, mailboxes, machine, traces[rank], timeout)
-        try:
-            results[rank] = fn(comm, *args, **kwargs)
-        except BaseException as exc:  # noqa: BLE001 - reported to the caller
-            failures[rank] = exc
-
-    if nprocs == 1:
-        worker(0)
-    else:
-        threads = [
-            threading.Thread(target=worker, args=(r,), name=f"vmpi-rank-{r}", daemon=True)
-            for r in range(nprocs)
-        ]
-        for t in threads:
-            t.start()
-        for t in threads:
-            t.join()
-
-    if failures:
-        first = failures[min(failures)]
-        raise RankFailedError(failures) from first
-    return RunTrace(ranks=traces, results=results)
+    if timeout is None:
+        timeout = default_timeout()
+    eng = resolve_engine(engine)
+    return eng.run(nprocs, fn, args, kwargs, machine=machine, timeout=timeout)

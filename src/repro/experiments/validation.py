@@ -9,12 +9,17 @@ simulator, at sizes small enough to execute in Python:
 * PDGETF2 must send ``Θ(b log2 P)`` messages per panel;
 * over a full factorization, CALU's per-process message count must be lower
   than PDGETRF's by roughly a factor ``b`` (up to the swap-scheme constant).
+
+These measurements default to the deterministic event engine
+(:mod:`repro.distsim.engine`), which makes them reproducible bit for bit and
+keeps paper-scale process counts (P up to 888) tractable; pass
+``engine="threaded"`` to cross-check against the threaded backend.
 """
 
 from __future__ import annotations
 
 import math
-from typing import Dict, List
+from typing import Dict, List, Sequence
 
 import numpy as np
 
@@ -25,29 +30,56 @@ from ..parallel.ptslu import ptslu
 from ..randmat.generators import randn
 from ..scalapack.pdgetrf import pdgetrf
 
+#: Engine used by default for validation measurements (deterministic).
+DEFAULT_ENGINE = "event"
 
-def measure_panel_counts(m: int = 128, b: int = 8, P: int = 4) -> Dict[str, float]:
+
+def measure_panel_counts(
+    m: int = 128, b: int = 8, P: int = 4, engine: str = DEFAULT_ENGINE
+) -> Dict[str, float]:
     """Measured per-rank message counts of one TSLU panel on the simulator."""
     A = randn(m, b, seed=11)
-    res = ptslu(A, nprocs=P, layout="block", machine=unit_machine())
+    res = ptslu(A, nprocs=P, layout="block", machine=unit_machine(), engine=engine)
     return {
         "m": m,
         "b": b,
         "P": P,
         "max_messages_per_rank": res.trace.max_messages,
-        "expected_log2P": math.log2(P),
+        # The butterfly costs exactly log2(P) steps at powers of two and
+        # floor(log2 P) + 1 = ceil(log2 P) otherwise (fold + inner butterfly).
+        "expected_log2P": math.ceil(math.log2(P)),
         "max_words_per_rank": res.trace.max_words,
     }
 
 
+def measure_panel_scaling(
+    Ps: Sequence[int] = (64, 128, 256, 888),
+    b: int = 4,
+    rows_per_rank: int = 8,
+    engine: str = DEFAULT_ENGINE,
+) -> List[Dict[str, float]]:
+    """TSLU panel message counts at the paper's process counts (64..888).
+
+    Only feasible on the event engine in reasonable time; the matrix height
+    grows with ``P`` so every rank keeps ``rows_per_rank`` rows, as in a weak
+    scaling experiment.
+    """
+    rows = []
+    for P in Ps:
+        rows.append(
+            measure_panel_counts(m=P * rows_per_rank, b=b, P=P, engine=engine)
+        )
+    return rows
+
+
 def measure_factorization_counts(
-    n: int = 64, b: int = 8, Pr: int = 2, Pc: int = 2
+    n: int = 64, b: int = 8, Pr: int = 2, Pc: int = 2, engine: str = DEFAULT_ENGINE
 ) -> List[Dict[str, float]]:
     """Measured message counts of CALU vs PDGETRF on the same small problem."""
     A = randn(n, seed=13)
     grid = ProcessGrid(Pr, Pc)
-    calu_res = pcalu(A, grid, block_size=b, machine=unit_machine())
-    ref_res = pdgetrf(A, grid, block_size=b, machine=unit_machine())
+    calu_res = pcalu(A, grid, block_size=b, machine=unit_machine(), engine=engine)
+    ref_res = pdgetrf(A, grid, block_size=b, machine=unit_machine(), engine=engine)
     rows = []
     for name, res in (("calu", calu_res), ("pdgetrf", ref_res)):
         err = float(np.max(np.abs(A[res.perm, :] - res.L @ res.U)))

@@ -31,6 +31,11 @@ class MachineModel:
         already including the fraction of peak a tuned BLAS reaches).
     gamma_d:
         Seconds per division.
+    gamma_cmp:
+        Seconds per comparison (pivot searches).  ``None`` (the default)
+        means comparisons cost the same as a multiply/add (``γ``), matching
+        the convention that a pivot search runs at the machine's scalar
+        flop rate.
     alpha:
         Point-to-point message latency in seconds (default channel).
     beta:
@@ -57,11 +62,14 @@ class MachineModel:
     beta_row: Optional[float] = None
     alpha_col: Optional[float] = None
     beta_col: Optional[float] = None
+    gamma_cmp: Optional[float] = None
     peak_flops_per_proc: float = 0.0
     notes: str = ""
 
     def __post_init__(self) -> None:
         if min(self.gamma, self.gamma_d, self.alpha, self.beta) < 0:
+            raise ValueError("machine parameters must be non-negative")
+        if self.gamma_cmp is not None and self.gamma_cmp < 0:
             raise ValueError("machine parameters must be non-negative")
 
     # Channel-resolved accessors -------------------------------------------------
@@ -85,9 +93,18 @@ class MachineModel:
         """Time to send a message of ``words`` 8-byte words: ``α + w·β``."""
         return self.latency(channel) + words * self.inv_bandwidth(channel)
 
-    def compute_time(self, muladds: float, divides: float = 0.0) -> float:
-        """Time to execute the given arithmetic: ``muladds·γ + divides·γ_d``."""
-        return muladds * self.gamma + divides * self.gamma_d
+    def comparison_time(self) -> float:
+        """Seconds per comparison: ``γ_cmp``, defaulting to ``γ``."""
+        return self.gamma if self.gamma_cmp is None else self.gamma_cmp
+
+    def compute_time(
+        self, muladds: float, divides: float = 0.0, comparisons: float = 0.0
+    ) -> float:
+        """Time for ``muladds·γ + divides·γ_d + comparisons·γ_cmp``."""
+        t = muladds * self.gamma + divides * self.gamma_d
+        if comparisons:
+            t += comparisons * self.comparison_time()
+        return t
 
     def flops_to_gflops(self, flops: float, seconds: float) -> float:
         """Convert a (flops, time) pair into GFLOP/s (0 if time is 0)."""

@@ -28,11 +28,12 @@ factor ``b`` in latency.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, List, Optional, Tuple
+from typing import Callable, List, Optional, Tuple, Union
 
 import numpy as np
 
 from ..distsim.collectives import broadcast
+from ..distsim.engine import ExecutionEngine
 from ..distsim.tracing import RunTrace
 from ..distsim.vmpi import Communicator, run_spmd
 from ..layouts.block_cyclic import BlockCyclic2D
@@ -207,6 +208,7 @@ def run_block_lu(
     block_size: int,
     panel_factory: Callable[[], PanelFactorizer],
     machine: Optional[MachineModel] = None,
+    engine: Union[None, str, ExecutionEngine] = None,
 ) -> DistributedLUResult:
     """Scatter ``A``, run the distributed factorization, gather the factors.
 
@@ -223,6 +225,9 @@ def run_block_lu(
         (a factory so each run gets a fresh, stateless callback).
     machine:
         Machine model pricing the run.
+    engine:
+        Execution engine for the SPMD run ("threaded", "event", an engine
+        instance, or ``None`` for the process-wide default).
 
     Returns
     -------
@@ -237,7 +242,7 @@ def run_block_lu(
     def rank_fn(comm: Communicator) -> dict:
         return block_right_looking_rank(comm, dist, locals_in[comm.rank], panel_fn)
 
-    trace = run_spmd(grid.size, rank_fn, machine=machine)
+    trace = run_spmd(grid.size, rank_fn, machine=machine, engine=engine)
 
     gathered = dist.gather({r: res["Aloc"] for r, res in enumerate(trace.results)})
     swaps = trace.results[0]["swaps"]

@@ -10,10 +10,11 @@ the algorithm.
 
 from __future__ import annotations
 
-from typing import Callable, List, Optional, Tuple
+from typing import Callable, List, Optional, Tuple, Union
 
 import numpy as np
 
+from ..distsim.engine import ExecutionEngine
 from ..distsim.vmpi import Communicator
 from ..kernels.flops import FlopCounter
 from ..kernels.trsm import trsm_right_upper
@@ -108,11 +109,14 @@ def pcalu(
     block_size: int,
     local_kernel: str = "getf2",
     machine: Optional[MachineModel] = None,
+    engine: Union[None, str, ExecutionEngine] = None,
 ) -> DistributedLUResult:
     """Distributed CALU of ``A`` over ``grid`` with block size ``block_size``.
 
-    Returns the gathered factors, the pivot sequence and the per-rank
-    communication trace (see :class:`~repro.parallel.driver.DistributedLUResult`).
+    ``engine`` selects the virtual-MPI execution backend ("threaded",
+    "event", or ``None`` for the process-wide default).  Returns the gathered
+    factors, the pivot sequence and the per-rank communication trace (see
+    :class:`~repro.parallel.driver.DistributedLUResult`).
     """
     return run_block_lu(
         A,
@@ -120,4 +124,5 @@ def pcalu(
         block_size,
         panel_factory=lambda: make_calu_panel(local_kernel=local_kernel),
         machine=machine,
+        engine=engine,
     )

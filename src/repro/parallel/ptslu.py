@@ -21,12 +21,13 @@ the latency win over ScaLAPACK's PDGETF2 (2 messages *per column*, i.e.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional, Sequence, Tuple
+from typing import List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
 from ..core.tournament import CandidateSet, local_candidates, merge_candidates
 from ..distsim.collectives import allreduce
+from ..distsim.engine import ExecutionEngine
 from ..distsim.tracing import RunTrace
 from ..distsim.vmpi import Communicator, run_spmd
 from ..kernels.flops import FlopCounter
@@ -183,6 +184,7 @@ def ptslu(
     block_size: Optional[int] = None,
     local_kernel: str = "getf2",
     machine: Optional[MachineModel] = None,
+    engine: Union[None, str, ExecutionEngine] = None,
 ) -> PTSLUResult:
     """Driver: distribute an ``m x b`` panel, run SPMD TSLU, gather the factors.
 
@@ -200,6 +202,10 @@ def ptslu(
         Local factorization kernel (``"getf2"`` / ``"rgetf2"``).
     machine:
         Machine model pricing the run (default: unit-latency machine).
+    engine:
+        Execution engine for the SPMD run ("threaded", "event", an
+        :class:`~repro.distsim.engine.base.ExecutionEngine` instance, or
+        ``None`` for the process-wide default).
 
     Returns
     -------
@@ -226,7 +232,7 @@ def ptslu(
             local_kernel=local_kernel,
         )
 
-    trace = run_spmd(nprocs, rank_fn, machine=machine)
+    trace = run_spmd(nprocs, rank_fn, machine=machine, engine=engine)
     results = trace.results
 
     winners = np.asarray(results[0]["winners"], dtype=np.int64)

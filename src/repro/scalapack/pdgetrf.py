@@ -8,10 +8,11 @@ message for message.
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import Optional, Union
 
 import numpy as np
 
+from ..distsim.engine import ExecutionEngine
 from ..layouts.grid import ProcessGrid
 from ..machines.model import MachineModel
 from .pdgetf2 import make_pdgetf2_panel
@@ -22,6 +23,7 @@ def pdgetrf(
     grid: ProcessGrid,
     block_size: int,
     machine: Optional[MachineModel] = None,
+    engine: Union[None, str, ExecutionEngine] = None,
 ):
     """Distributed LU with partial pivoting of ``A`` (ScaLAPACK-style baseline).
 
@@ -35,6 +37,9 @@ def pdgetrf(
         Block size ``b`` of the 2-D block-cyclic distribution.
     machine:
         Machine model pricing the run.
+    engine:
+        Virtual-MPI execution engine ("threaded", "event", an engine
+        instance, or ``None`` for the process-wide default).
 
     Returns
     -------
@@ -51,4 +56,5 @@ def pdgetrf(
         block_size,
         panel_factory=make_pdgetf2_panel,
         machine=machine,
+        engine=engine,
     )

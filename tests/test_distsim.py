@@ -123,6 +123,67 @@ def test_payload_words_estimates():
     assert payload_words(None) == 1
 
 
+def test_payload_words_empty_arrays_and_dtypes():
+    assert payload_words(np.zeros(0)) == 0.0
+    assert payload_words(np.zeros((0, 5))) == 0.0
+    # Non-8-byte dtypes count their actual storage.
+    assert payload_words(np.zeros(10, dtype=np.float32)) == 5.0
+    assert payload_words(np.zeros(4, dtype=np.int64)) == 4.0
+
+
+def test_payload_words_empty_containers_count_control_overhead():
+    # An empty container still costs one control word on the wire.
+    assert payload_words(()) == 1.0
+    assert payload_words([]) == 1.0
+    assert payload_words({}) == 1.0
+
+
+def test_payload_words_nested_containers():
+    nested = {"swaps": [(1, 2), (3, 4)], "panel": np.zeros((2, 3))}
+    # Each (int, int) tuple = 2 words; the 2x3 array = 6 words.
+    assert payload_words(nested) == 2 + 2 + 6
+    assert payload_words([[np.zeros(2)], {"x": 1.0}]) == 3.0
+
+
+def test_payload_words_strings():
+    assert payload_words("") == 1.0
+    assert payload_words("short") == 1.0  # less than one word, rounded up
+    assert payload_words("x" * 8) == 1.0
+    assert payload_words("x" * 20) == 2.5
+
+
+def test_comparisons_priced_into_simulated_clock():
+    """charge_flops(comparisons=...) advances time at γ_cmp (default γ)."""
+    machine = MachineModel(name="t", gamma=2.0, gamma_d=5.0, alpha=0.0, beta=0.0)
+
+    def prog(comm):
+        comm.charge_flops(comparisons=7)
+        return comm.clock
+
+    assert run_spmd(1, prog, machine=machine).results[0] == pytest.approx(14.0)
+
+    explicit = machine.with_overrides(gamma_cmp=0.5)
+
+    def prog2(comm):
+        comm.charge_flops(muladds=1, comparisons=4)
+        return comm.clock
+
+    assert run_spmd(1, prog2, machine=explicit).results[0] == pytest.approx(4.0)
+
+
+def test_machine_compute_time_comparison_term():
+    m = MachineModel(name="t", gamma=3.0, gamma_d=10.0, alpha=1.0, beta=0.0)
+    assert m.comparison_time() == 3.0
+    assert m.compute_time(2.0, 1.0) == pytest.approx(16.0)  # 2-arg form unchanged
+    assert m.compute_time(0.0, 0.0, comparisons=5.0) == pytest.approx(15.0)
+    m2 = m.with_overrides(gamma_cmp=0.25)
+    assert m2.comparison_time() == 0.25
+    assert m2.compute_time(1.0, 0.0, 4.0) == pytest.approx(4.0)
+    with pytest.raises(ValueError):
+        MachineModel(name="bad", gamma=1.0, gamma_d=1.0, alpha=1.0, beta=1.0,
+                     gamma_cmp=-1.0)
+
+
 def test_channel_split_is_recorded():
     def prog(comm):
         if comm.rank == 0:
@@ -253,3 +314,63 @@ def test_nonassociative_order_is_deterministic():
 
     trace = run_spmd(4, prog)
     assert all(r == "0123" for r in trace.results)
+
+
+# ------------------------------------------- non-power-of-two group coverage
+@pytest.mark.parametrize("p", [3, 5, 6, 7])
+def test_all_collectives_non_power_of_two(p):
+    """Every collective delivers correct values on P = 3, 5, 6, 7."""
+    root = p - 1
+
+    def prog(comm):
+        bcast = broadcast(comm, "payload" if comm.rank == root else None, root=root)
+        red = reduce(comm, comm.rank + 1, lambda a, b: a + b, root=root, tag="r")
+        allred = allreduce(comm, comm.rank + 1, lambda a, b: a + b, tag="ar")
+        gathered = gather(comm, comm.rank ** 2, root=root, tag="g")
+        allgathered = allgather(comm, comm.rank ** 2, tag="ag")
+        values = [10 * i for i in range(p)] if comm.rank == root else None
+        scattered = scatter(comm, values, root=root, tag="s")
+        barrier(comm, tag="b")
+        return (bcast, red, allred, gathered, allgathered, scattered)
+
+    trace = run_spmd(p, prog)
+    total = p * (p + 1) // 2
+    squares = [i ** 2 for i in range(p)]
+    for rank, (bcast, red, allred, gathered, allgathered, scattered) in enumerate(
+        trace.results
+    ):
+        assert bcast == "payload"
+        assert red == (total if rank == root else None)
+        assert allred == total
+        assert gathered == (squares if rank == root else None)
+        assert allgathered == squares
+        assert scattered == 10 * rank
+
+
+@pytest.mark.parametrize("p", [3, 5, 6, 7])
+def test_allreduce_non_power_of_two_message_depth(p):
+    """Fold + butterfly + unfold: at most ceil(log2 p) + 1 sends per rank."""
+    import math
+
+    def prog(comm):
+        allreduce(comm, 1.0, lambda a, b: a + b)
+
+    trace = run_spmd(p, prog, machine=unit_machine())
+    assert trace.max_messages <= math.ceil(math.log2(p)) + 1
+
+
+@pytest.mark.parametrize("p", [3, 5, 6, 7])
+def test_allreduce_consistent_non_power_of_two(p):
+    """With a non-commutative operator every rank still agrees on one result
+    containing each contribution exactly once (fold order is fixed, so the
+    value is also stable across runs)."""
+
+    def prog(comm):
+        return allreduce(comm, str(comm.rank), lambda a, b: a + b)
+
+    first = run_spmd(p, prog)
+    second = run_spmd(p, prog)
+    value = first.results[0]
+    assert all(r == value for r in first.results)
+    assert all(r == value for r in second.results)
+    assert sorted(value) == [str(i) for i in range(p)]

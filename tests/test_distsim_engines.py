@@ -1,0 +1,324 @@
+"""Cross-backend tests for the pluggable virtual-MPI execution engines.
+
+The contract: the threaded and event-driven backends must produce
+**identical** simulated quantities — message counts, word counts, flop
+counts (muladds / divides / comparisons) and per-rank clocks, hence
+critical-path times — for the same rank program, because all accounting lives
+in the shared Communicator base.  The event engine additionally guarantees
+bit-for-bit reproducible runs and structural (instant) deadlock detection.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.distsim import (
+    DeadlockError,
+    RankFailedError,
+    allgather,
+    allreduce,
+    available_engines,
+    broadcast,
+    get_engine,
+    resolve_engine,
+    run_spmd,
+)
+from repro.distsim.engine import EventEngine, ExecutionEngine, ThreadedEngine
+from repro.layouts import ProcessGrid
+from repro.machines import MachineModel, ibm_power5, unit_machine
+from repro.parallel import pcalu, ptslu
+from repro.randmat import randn, tall_skinny
+from repro.scalapack import pdgetrf
+
+ENGINES = ["threaded", "event"]
+
+
+def assert_traces_identical(t1, t2):
+    """Every simulated quantity must match rank for rank, bit for bit."""
+    assert t1.nprocs == t2.nprocs
+    for a, b in zip(t1.ranks, t2.ranks):
+        assert a.messages_sent == b.messages_sent, a.rank
+        assert a.messages_received == b.messages_received, a.rank
+        assert a.words_sent == b.words_sent, a.rank
+        assert a.words_received == b.words_received, a.rank
+        assert a.messages_by_channel == b.messages_by_channel, a.rank
+        assert a.words_by_channel == b.words_by_channel, a.rank
+        assert a.flops.muladds == b.flops.muladds, a.rank
+        assert a.flops.divides == b.flops.divides, a.rank
+        assert a.flops.comparisons == b.flops.comparisons, a.rank
+        assert a.clock == b.clock, a.rank
+    assert t1.critical_path_time == t2.critical_path_time
+
+
+# ------------------------------------------------------------ registry seam
+def test_engine_registry_lists_both_backends():
+    assert available_engines() == ["event", "threaded"]
+    assert isinstance(get_engine("threaded"), ThreadedEngine)
+    assert isinstance(get_engine("event"), EventEngine)
+    # Aliases and instances resolve too.
+    assert isinstance(resolve_engine("deterministic"), EventEngine)
+    eng = EventEngine()
+    assert resolve_engine(eng) is eng
+
+
+def test_engine_registry_rejects_unknown():
+    with pytest.raises(ValueError, match="unknown execution engine"):
+        get_engine("quantum")
+    with pytest.raises(TypeError):
+        resolve_engine(3.14)
+
+
+def test_engine_env_var_selects_backend(monkeypatch):
+    monkeypatch.setenv("REPRO_VMPI_ENGINE", "event")
+    trace = run_spmd(2, lambda comm: comm.rank)
+    assert trace.engine == "event"
+    monkeypatch.delenv("REPRO_VMPI_ENGINE")
+    assert run_spmd(1, lambda comm: comm.rank).engine == "threaded"
+
+
+def test_timeout_env_var_configures_default(monkeypatch):
+    from repro.distsim import default_timeout
+
+    monkeypatch.setenv("REPRO_VMPI_TIMEOUT", "0.25")
+    assert default_timeout() == 0.25
+    monkeypatch.setenv("REPRO_VMPI_TIMEOUT", "not-a-number")
+    assert default_timeout() == 120.0
+    monkeypatch.delenv("REPRO_VMPI_TIMEOUT")
+    assert default_timeout() == 120.0
+
+
+def test_timeout_env_var_bounds_threaded_deadlock(monkeypatch):
+    monkeypatch.setenv("REPRO_VMPI_TIMEOUT", "0.2")
+
+    def prog(comm):
+        if comm.rank == 1:
+            return comm.recv(0, tag="never")
+
+    start = time.perf_counter()
+    with pytest.raises(RankFailedError):
+        run_spmd(2, prog, engine="threaded")
+    assert time.perf_counter() - start < 5.0
+
+
+# ------------------------------------------------- cross-backend parity
+@pytest.mark.parametrize("p", [2, 3, 5, 8])
+def test_collective_program_parity(p):
+    machine = MachineModel(
+        name="t", gamma=1e-9, gamma_d=4e-9, alpha=1e-6, beta=1e-8,
+        alpha_row=2e-6, beta_col=3e-8,
+    )
+
+    def prog(comm):
+        comm.charge_flops(muladds=10 * (comm.rank + 1), divides=comm.rank,
+                          comparisons=3)
+        v = allreduce(comm, comm.rank + 1, lambda a, b: a + b, channel="col")
+        w = broadcast(comm, np.arange(6.0) if comm.rank == 0 else None,
+                      root=0, channel="row")
+        g = allgather(comm, comm.rank * 2)
+        return (v, float(np.sum(w)), g)
+
+    t_threaded = run_spmd(p, prog, machine=machine, engine="threaded")
+    t_event = run_spmd(p, prog, machine=machine, engine="event")
+    assert_traces_identical(t_threaded, t_event)
+    assert t_threaded.results == t_event.results
+
+
+@pytest.mark.parametrize("nprocs", [2, 4, 5, 8])
+def test_ptslu_parity(nprocs):
+    A = tall_skinny(64, 8, seed=nprocs)
+    res_t = ptslu(A, nprocs=nprocs, machine=ibm_power5(), engine="threaded")
+    res_e = ptslu(A, nprocs=nprocs, machine=ibm_power5(), engine="event")
+    assert_traces_identical(res_t.trace, res_e.trace)
+    assert np.array_equal(res_t.winners, res_e.winners)
+    assert np.allclose(res_t.L, res_e.L)
+    assert np.allclose(res_t.U, res_e.U)
+
+
+@pytest.mark.parametrize(
+    "n,b,pr,pc",
+    [(16, 4, 2, 2), (32, 8, 2, 2), (36, 6, 2, 3)],
+)
+def test_pcalu_parity(n, b, pr, pc):
+    A = randn(n, seed=n + b)
+    grid = ProcessGrid(pr, pc)
+    res_t = pcalu(A, grid, block_size=b, machine=ibm_power5(), engine="threaded")
+    res_e = pcalu(A, grid, block_size=b, machine=ibm_power5(), engine="event")
+    assert_traces_identical(res_t.trace, res_e.trace)
+    assert np.array_equal(res_t.perm, res_e.perm)
+    assert np.allclose(res_t.L, res_e.L)
+    assert np.allclose(res_t.U, res_e.U)
+
+
+def test_pdgetrf_parity():
+    A = randn(32, seed=3)
+    grid = ProcessGrid(2, 2)
+    res_t = pdgetrf(A, grid, block_size=8, machine=ibm_power5(), engine="threaded")
+    res_e = pdgetrf(A, grid, block_size=8, machine=ibm_power5(), engine="event")
+    assert_traces_identical(res_t.trace, res_e.trace)
+    assert np.array_equal(res_t.perm, res_e.perm)
+
+
+# ---------------------------------------------------------- event: determinism
+def test_event_engine_bitwise_reproducible():
+    A = randn(32, seed=17)
+    grid = ProcessGrid(2, 2)
+    first = pcalu(A, grid, block_size=8, machine=ibm_power5(), engine="event")
+    second = pcalu(A, grid, block_size=8, machine=ibm_power5(), engine="event")
+    assert_traces_identical(first.trace, second.trace)
+    assert first.trace.ranks[0].zero_copy_sends == second.trace.ranks[0].zero_copy_sends
+    assert np.array_equal(first.L, second.L)
+    assert np.array_equal(first.U, second.U)  # bitwise, not just allclose
+
+
+def test_event_engine_trace_tagged():
+    assert run_spmd(2, lambda c: c.rank, engine="event").engine == "event"
+    assert run_spmd(2, lambda c: c.rank, engine="threaded").engine == "threaded"
+
+
+# --------------------------------------------------- event: deadlock handling
+def test_event_engine_structural_deadlock_is_instant():
+    """No timeout involved: an unmatched receive fails as soon as the
+    scheduler observes that no rank is runnable."""
+
+    def prog(comm):
+        if comm.rank == 1:
+            return comm.recv(0, tag="never")
+
+    start = time.perf_counter()
+    with pytest.raises(RankFailedError) as exc:
+        run_spmd(2, prog, engine="event", timeout=3600.0)
+    assert time.perf_counter() - start < 1.0
+    assert isinstance(exc.value.__cause__, DeadlockError)
+    assert "structural deadlock" in str(exc.value.__cause__)
+
+
+def test_event_engine_detects_cyclic_deadlock():
+    def prog(comm):
+        other = 1 - comm.rank
+        return comm.recv(other, tag="cycle")  # both wait, nobody sends
+
+    start = time.perf_counter()
+    with pytest.raises(RankFailedError) as exc:
+        run_spmd(2, prog, engine="event")
+    assert time.perf_counter() - start < 1.0
+    assert isinstance(exc.value.__cause__, DeadlockError)
+
+
+def test_event_engine_rank_exception_propagates():
+    def prog(comm):
+        if comm.rank == 0:
+            raise ValueError("boom")
+        return comm.rank
+
+    with pytest.raises(RankFailedError) as exc:
+        run_spmd(3, prog, engine="event")
+    assert isinstance(exc.value.__cause__, ValueError)
+
+
+def test_event_engine_peer_failure_fails_blocked_ranks_fast():
+    """A rank waiting on a crashed peer gets a structural DeadlockError
+    instead of hanging until a timeout."""
+
+    def prog(comm):
+        if comm.rank == 0:
+            raise RuntimeError("crashed before sending")
+        return comm.recv(0, tag="x")
+
+    start = time.perf_counter()
+    with pytest.raises(RankFailedError) as exc:
+        run_spmd(2, prog, engine="event", timeout=3600.0)
+    assert time.perf_counter() - start < 1.0
+    assert isinstance(exc.value.failures[0], RuntimeError)
+    assert isinstance(exc.value.failures[1], DeadlockError)
+    # The chained cause is the root failure (the crash), not the secondary
+    # deadlock it induced in the waiting rank.
+    assert isinstance(exc.value.__cause__, RuntimeError)
+
+
+# ------------------------------------------------------- event: zero-copy
+def test_event_engine_elides_copy_for_fresh_temporaries():
+    def prog(comm):
+        if comm.rank == 0:
+            comm.send(1, np.arange(8.0) * 2.0, tag=0)  # pure temporary
+        else:
+            return comm.recv(0, tag=0)
+
+    trace = run_spmd(2, prog, engine="event")
+    assert trace.ranks[0].zero_copy_sends == 1
+    assert trace.ranks[0].words_sent == 8.0  # accounting unchanged
+    assert np.allclose(trace.results[1], np.arange(8.0) * 2.0)
+
+
+def test_event_engine_still_copies_aliased_payloads():
+    """A payload the sender can still reach is defensively copied, so
+    post-send mutation never leaks to the receiver."""
+
+    def prog(comm):
+        if comm.rank == 0:
+            data = np.ones(3)
+            comm.send(1, data, tag=0)
+            data[:] = -1.0
+        else:
+            return comm.recv(0, tag=0)
+
+    trace = run_spmd(2, prog, engine="event")
+    assert trace.ranks[0].zero_copy_sends == 0
+    assert np.allclose(trace.results[1], 1.0)
+
+
+def test_threaded_engine_never_elides():
+    def prog(comm):
+        if comm.rank == 0:
+            comm.send(1, np.arange(4.0) + 1.0, tag=0)
+        else:
+            return comm.recv(0, tag=0)
+
+    trace = run_spmd(2, prog, engine="threaded")
+    assert trace.ranks[0].zero_copy_sends == 0
+
+
+# ----------------------------------------------------------- event: scale
+def test_event_engine_runs_paper_scale_tslu():
+    """P = 256 distributed TSLU — impractical on the threaded backend, fast
+    on the event engine."""
+    P, b = 256, 4
+    A = tall_skinny(4 * P, b, seed=1)
+    start = time.perf_counter()
+    res = ptslu(A, nprocs=P, machine=unit_machine(), engine="event")
+    elapsed = time.perf_counter() - start
+    assert np.allclose(A[res.perm, :], res.L @ res.U, atol=1e-10)
+    assert res.trace.max_messages == 8  # log2(256)
+    assert elapsed < 30.0
+
+
+def test_custom_engine_can_be_registered():
+    from repro.distsim.engine import EventEngine, register_engine, _REGISTRY
+
+    class TaggedEngine(EventEngine):
+        name = "tagged"
+
+    register_engine("tagged", TaggedEngine)
+    try:
+        trace = run_spmd(2, lambda c: c.rank, engine="tagged")
+        assert trace.engine == "tagged"
+    finally:
+        _REGISTRY.pop("tagged", None)
+
+
+def test_registering_over_an_alias_name_wins():
+    """An exact registry entry beats the built-in alias table."""
+    from repro.distsim.engine import EventEngine, register_engine, _REGISTRY
+
+    class Custom(EventEngine):
+        name = "custom-deterministic"
+
+    register_engine("deterministic", Custom)
+    try:
+        assert isinstance(get_engine("deterministic"), Custom)
+    finally:
+        _REGISTRY.pop("deterministic", None)
+    # With the override gone the alias resolves to the builtin again.
+    assert isinstance(get_engine("deterministic"), EventEngine)

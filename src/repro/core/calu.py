@@ -24,6 +24,7 @@ import numpy as np
 
 from ..kernels.flops import FlopCounter
 from ..kernels.gemm import gemm_update
+from ..kernels.laswp import permute_rows_inplace
 from ..kernels.pivoting import invert_perm
 from ..kernels.trsm import trsm_lower_unit
 from .tslu import tslu
@@ -75,6 +76,7 @@ def calu(
     partition: str = "block_cyclic",
     track_growth: bool = False,
     compute_thresholds: bool = False,
+    kernel_tier: Optional[str] = None,
 ) -> CALUResult:
     """Factor ``A`` with communication-avoiding LU (ca-pivoting panels).
 
@@ -96,6 +98,11 @@ def calu(
         Record the growth history needed for the growth factor g_T.
     compute_thresholds:
         Record per-column pivot thresholds (needed for τ_min / τ_ave).
+    kernel_tier:
+        Kernel tier for panels and tournaments (None: process-wide default,
+        see :mod:`repro.kernels.tiers`).  Requesting growth or threshold
+        recording forces the reference tier so the stability experiments are
+        reproducible bit-for-bit regardless of the knob.
 
     Returns
     -------
@@ -121,11 +128,17 @@ def calu(
 
     b = min(block_size, n)
     flops = FlopCounter()
+    if track_growth or compute_thresholds:
+        # Stability recording must replay the reference arithmetic exactly.
+        kernel_tier = "reference"
     # Global permutation accumulated panel by panel: perm[i] = original row of
     # the row currently stored at position i of the working matrix.
     perm = np.arange(m, dtype=np.int64)
     growth: List[float] = []
     thresholds: List[np.ndarray] = []
+    # Reusable GEMM workspace: the trailing update's product is materialised
+    # into this flat buffer instead of a fresh allocation per panel.
+    gemm_work = np.empty((m - b) * (n - b)) if (n > b and m > b) else None
 
     for j in range(0, n, b):
         jb = min(b, n - j)
@@ -140,31 +153,34 @@ def calu(
             partition=partition,
             block_size=jb,
             compute_thresholds=compute_thresholds,
+            kernel_tier=kernel_tier,
         )
         if compute_thresholds:
             thresholds.append(pres.threshold_history)
 
         # Apply the panel permutation to the whole working matrix (rows j..m)
-        # and to the global permutation bookkeeping.
+        # and to the global permutation bookkeeping, swapping only the rows
+        # the permutation actually moves (no (m-j) x n gather copy).
         local_perm = pres.perm  # permutation of the active rows (0-based in panel)
-        global_rows = np.arange(j, m, dtype=np.int64)
-        permuted_rows = global_rows[local_perm]
-        A[j:, :] = A[permuted_rows, :]
-        perm[j:] = perm[permuted_rows]
+        permute_rows_inplace(A[j:, :], local_perm)
+        permute_rows_inplace(perm[j:], local_perm)
 
         # Store the panel factors in packed form: U on and above the diagonal,
-        # the strictly-lower part of L below it (unit diagonal implicit).
+        # the strictly-lower part of L below it (unit diagonal implicit) —
+        # written column by column straight into A, no packed temporary.
         k = min(panel.shape[0], jb)
-        packed = np.zeros((m - j, jb))
-        packed[:, :k] = np.tril(pres.L, -1)
-        packed[:k, :] += pres.U[:k, :]
-        A[j:, j : j + jb] = packed
+        panel[:k, :] = pres.U[:k, :]
+        for c in range(k):
+            panel[c + 1 :, c] = pres.L[c + 1 :, c]
+        if k < jb:  # degenerate wide fringe: zero the unfactored corner
+            panel[k:, k:] = 0.0
 
         if j + jb < n:
-            # Block-row of U: U12 = L11^{-1} A12.
-            L11 = np.tril(pres.L[:jb, :jb], -1) + np.eye(jb)
+            # Block-row of U: U12 = L11^{-1} A12.  The solver reads only the
+            # strict lower triangle (unit diagonal implied), so L can be
+            # passed as is — no tril + eye temporaries.
             A[j : j + jb, j + jb :] = trsm_lower_unit(
-                L11, A[j : j + jb, j + jb :], flops=flops
+                pres.L[:jb, :jb], A[j : j + jb, j + jb :], flops=flops
             )
             # Trailing update: A22 -= L21 @ U12.
             if j + jb < m:
@@ -173,6 +189,7 @@ def calu(
                     pres.L[jb:, :],
                     A[j : j + jb, j + jb :],
                     flops=flops,
+                    work=gemm_work,
                 )
         if track_growth:
             growth.append(float(np.max(np.abs(A))))

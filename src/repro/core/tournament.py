@@ -28,9 +28,11 @@ from typing import Callable, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from ..kernels.batched import getf2_batched, slab_flop_counters
 from ..kernels.flops import FlopCounter
 from ..kernels.getf2 import getf2
 from ..kernels.rgetf2 import rgetf2
+from ..kernels.tiers import resolve_tier
 
 #: The local factorization kernels selectable for the leaf step (the paper's
 #: "Cl" = classic DGETF2 and "Rec" = recursive RGETF2 configurations).
@@ -91,6 +93,7 @@ def local_candidates(
     b: int,
     flops: Optional[FlopCounter] = None,
     local_kernel: str = "getf2",
+    kernel_tier: Optional[str] = None,
 ) -> CandidateSet:
     """Leaf step of the tournament: select up to ``b`` candidate rows of one block.
 
@@ -107,6 +110,11 @@ def local_candidates(
     local_kernel:
         ``"getf2"`` or ``"rgetf2"`` — which sequential LU performs the local
         factorization (the paper's Cl/Rec configurations).
+    kernel_tier:
+        Kernel tier for the factorization (None: process-wide default).  Only
+        the pivot *order* of the factorization flows into the candidate set —
+        the candidate rows themselves are gathered from the original block —
+        so the fast tier changes no bits of the result.
     """
     rows = np.asarray(rows, dtype=np.int64)
     block = np.asarray(block, dtype=np.float64)
@@ -119,7 +127,7 @@ def local_candidates(
     if local_kernel == "rgetf2" and block.shape[0] < block.shape[1]:
         # The recursive kernel requires a tall block; fall back for stubs.
         kernel = getf2
-    res = kernel(block, flops=flops)
+    res = kernel(block, flops=flops, kernel_tier=kernel_tier)
     chosen = res.perm[:k]
     return CandidateSet(rows=rows[chosen], block=block[chosen, :])
 
@@ -141,12 +149,20 @@ def merge_candidates(
         ``winner`` is the merged :class:`CandidateSet`; ``U`` is the upper
         triangular factor of the stacked factorization (needed at the root of
         the tree, where it becomes the panel's ``U11``).
+
+    Notes
+    -----
+    Merges always run reference-tier arithmetic: the ``U`` factor computed
+    here flows straight into the panel factors, so its bits must not depend
+    on the configured kernel tier.  Batches of same-shape merges go through
+    :func:`~repro.kernels.batched.getf2_batched` instead (bit-identical, one
+    call per reduction round) — see ``_merge_round``.
     """
     stacked = np.vstack([a.block, b_set.block])
     all_rows = np.concatenate([a.rows, b_set.rows])
     if stacked.shape[0] == 0:
         return CandidateSet(rows=all_rows, block=stacked), np.zeros((0, 0))
-    res = getf2(stacked, flops=flops)
+    res = getf2(stacked, flops=flops, kernel_tier="reference")
     k = min(b, stacked.shape[0])
     chosen = res.perm[:k]
     winner = CandidateSet(rows=all_rows[chosen], block=stacked[chosen, :])
@@ -155,12 +171,111 @@ def merge_candidates(
     return winner, U
 
 
+def _merge_round(
+    pairs: List[Tuple[CandidateSet, CandidateSet]],
+    b: int,
+    flops: Optional[FlopCounter],
+    batched: bool,
+) -> Tuple[List[CandidateSet], Optional[np.ndarray]]:
+    """Merge one reduction round's pairs; returns (winners, U of last pair).
+
+    With ``batched=True``:
+
+    * all pairs whose stacked blocks share a shape are factored in a single
+      :func:`~repro.kernels.batched.getf2_batched` call — the arithmetic,
+      pivot choices and flop charges are bit-identical to the sequential
+      ``merge_candidates`` loop, only the Python-loop overhead of ``P/2``
+      separate ``getf2`` calls is gone;
+    * repeated pairs — every butterfly level merges each ``(lo, hi)`` pair
+      once per participant, which is the redundant computation the paper
+      trades for fewer messages — are factored once and their (bit-identical)
+      result replicated, while the flop ledger is still charged once per
+      logical merge, so the accounted arithmetic matches the sequential
+      schedule exactly.
+
+    Odd-shaped pairs (short blocks at the panel fringe) fall back to the
+    sequential merge.  With ``batched=False`` this is exactly the seed's
+    sequential merge loop.
+    """
+    n_pairs = len(pairs)
+    if not batched:
+        out: List[CandidateSet] = []
+        U = None
+        for a, c in pairs:
+            w, U = merge_candidates(a, c, b, flops=flops)
+            out.append(w)
+        return out, U
+
+    merged: List[Optional[CandidateSet]] = [None] * n_pairs
+    # Deduplicate repeated pairs by object identity (butterfly levels build
+    # each unordered pair twice, and padded replicas share objects too).
+    rep: dict = {}
+    dup_of = [rep.setdefault((id(a), id(c)), i) for i, (a, c) in enumerate(pairs)]
+    uniq = [i for i in range(n_pairs) if dup_of[i] == i]
+
+    counters: dict = {}  # unique idx -> FlopCounter of that merge
+    packed_lu: dict = {}  # unique idx -> packed lu (batched path)
+    direct_U: dict = {}  # unique idx -> triu U (sequential path)
+    shapes: dict = {}  # unique idx -> stacked shape
+    groups: dict = {}
+    for i in uniq:
+        a, c = pairs[i]
+        shape = (a.block.shape[0] + c.block.shape[0], a.block.shape[1])
+        shapes[i] = shape
+        groups.setdefault(shape, []).append(i)
+
+    for (mrows, ncols), idxs in groups.items():
+        if len(idxs) < 2 or mrows == 0 or ncols == 0:
+            for i in idxs:
+                cnt = FlopCounter()
+                merged[i], direct_U[i] = merge_candidates(
+                    pairs[i][0], pairs[i][1], b, flops=cnt
+                )
+                counters[i] = cnt
+                if flops is not None:
+                    flops.merge(cnt)
+            continue
+        stack = np.empty((len(idxs), mrows, ncols), dtype=np.float64)
+        for s, i in enumerate(idxs):
+            a, c = pairs[i]
+            stack[s, : a.block.shape[0]] = a.block
+            stack[s, a.block.shape[0] :] = c.block
+        res = getf2_batched(stack, flops=flops, overwrite=False)
+        slab_counts = slab_flop_counters(mrows, ncols, res.zero_columns)
+        k = min(b, mrows)
+        for s, i in enumerate(idxs):
+            a, c = pairs[i]
+            all_rows = np.concatenate([a.rows, c.rows])
+            chosen = res.perm[s][:k]
+            merged[i] = CandidateSet(rows=all_rows[chosen], block=stack[s][chosen, :])
+            counters[i] = slab_counts[s]
+            packed_lu[i] = res.lu[s]
+
+    for i in range(n_pairs):
+        j = dup_of[i]
+        if j != i:
+            merged[i] = merged[j]  # bit-identical by construction; share it
+            if flops is not None:
+                flops.merge(counters[j])
+
+    if n_pairs == 0:
+        return [], None
+    last = dup_of[n_pairs - 1]
+    if last in direct_U:
+        U = direct_U[last]
+    else:
+        mrows, ncols = shapes[last]
+        U = np.triu(packed_lu[last][: min(mrows, ncols), :])
+    return merged, U
+
+
 def tournament_pivoting(
     blocks: Sequence[Tuple[np.ndarray, np.ndarray]],
     b: int,
     flops: Optional[FlopCounter] = None,
     schedule: str = "binary",
     local_kernel: str = "getf2",
+    kernel_tier: Optional[str] = None,
 ) -> TournamentResult:
     """Run the full ca-pivoting tournament over a partitioned panel.
 
@@ -185,6 +300,13 @@ def tournament_pivoting(
           parallel butterfly and is provided for the ablation study.
     local_kernel:
         Kernel for the leaf factorizations (``"getf2"`` or ``"rgetf2"``).
+    kernel_tier:
+        Kernel tier (None: process-wide default, see
+        :mod:`repro.kernels.tiers`).  Any tier other than ``"reference"``
+        batches each reduction round — and the ``getf2`` leaf step — into a
+        single :func:`~repro.kernels.batched.getf2_batched` call; the
+        winners, ``U`` factor and flop charges are bit-identical to the
+        sequential reference schedule.
 
     Returns
     -------
@@ -194,29 +316,79 @@ def tournament_pivoting(
         raise ValueError("panel width b must be >= 1")
     if len(blocks) == 0:
         raise ValueError("tournament needs at least one row block")
-    candidates = [
-        local_candidates(rows, block, b, flops=flops, local_kernel=local_kernel)
-        for rows, block in blocks
-    ]
+    batched = resolve_tier(kernel_tier) != "reference"
+    if batched and local_kernel == "getf2":
+        candidates = _leaf_candidates_batched(blocks, b, flops, kernel_tier)
+    else:
+        candidates = [
+            local_candidates(
+                rows, block, b, flops=flops, local_kernel=local_kernel,
+                kernel_tier=kernel_tier,
+            )
+            for rows, block in blocks
+        ]
     # Drop empty blocks (they can appear when m is not a multiple of P*b).
     candidates = [c for c in candidates if c.rows.shape[0] > 0]
     if not candidates:
         raise ValueError("all row blocks are empty")
 
     if schedule == "flat":
-        return _flat_reduce(candidates, b, flops)
+        return _flat_reduce(candidates, b, flops, batched)
     if schedule == "binary":
-        return _binary_reduce(candidates, b, flops)
+        return _binary_reduce(candidates, b, flops, batched)
     if schedule == "butterfly":
-        return _butterfly_reduce(candidates, b, flops)
+        return _butterfly_reduce(candidates, b, flops, batched)
     raise ValueError(f"unknown tournament schedule {schedule!r}")
 
 
+def _leaf_candidates_batched(
+    blocks: Sequence[Tuple[np.ndarray, np.ndarray]],
+    b: int,
+    flops: Optional[FlopCounter],
+    kernel_tier: Optional[str],
+) -> List[CandidateSet]:
+    """Leaf step as batched ``getf2`` calls over same-shape block groups.
+
+    Bit-identical to looping :func:`local_candidates` with the ``getf2``
+    kernel: the batched factorization reproduces the reference pivot order
+    exactly, and the candidate rows are gathered from the original blocks.
+    Stray shapes (fringe blocks when ``m`` is not a multiple of ``P*b``) use
+    the per-block path.
+    """
+    rows_arr = [np.asarray(r, dtype=np.int64) for r, _ in blocks]
+    blk_arr = [np.asarray(blk, dtype=np.float64) for _, blk in blocks]
+    out: List[Optional[CandidateSet]] = [None] * len(blocks)
+    groups: dict = {}
+    for i, blk in enumerate(blk_arr):
+        groups.setdefault(blk.shape, []).append(i)
+    for shape, idxs in groups.items():
+        if len(idxs) < 2 or shape[0] == 0 or shape[1] == 0:
+            for i in idxs:
+                out[i] = local_candidates(
+                    rows_arr[i], blk_arr[i], b, flops=flops, kernel_tier=kernel_tier
+                )
+            continue
+        # The stack is a private temporary and the candidate rows are
+        # gathered from the original blocks, so it can be factored in place.
+        res = getf2_batched(
+            np.stack([blk_arr[i] for i in idxs]), flops=flops, overwrite=True
+        )
+        k = min(b, shape[0])
+        for s, i in enumerate(idxs):
+            chosen = res.perm[s][:k]
+            out[i] = CandidateSet(rows=rows_arr[i][chosen], block=blk_arr[i][chosen, :])
+    return out
+
+
 def _flat_reduce(
-    candidates: List[CandidateSet], b: int, flops: Optional[FlopCounter]
+    candidates: List[CandidateSet],
+    b: int,
+    flops: Optional[FlopCounter],
+    batched: bool = False,
 ) -> TournamentResult:
     if len(candidates) == 1:
-        return _binary_reduce(candidates, b, flops)
+        return _binary_reduce(candidates, b, flops, batched)
+    # A left fold is inherently sequential; each merge depends on the last.
     acc = candidates[0]
     U = None
     rounds = 0
@@ -227,24 +399,26 @@ def _flat_reduce(
 
 
 def _binary_reduce(
-    candidates: List[CandidateSet], b: int, flops: Optional[FlopCounter]
+    candidates: List[CandidateSet],
+    b: int,
+    flops: Optional[FlopCounter],
+    batched: bool = False,
 ) -> TournamentResult:
     level = list(candidates)
     U = None
     rounds = 0
     while len(level) > 1:
-        nxt: List[CandidateSet] = []
         rounds += 1
-        for i in range(0, len(level) - 1, 2):
-            merged, U = merge_candidates(level[i], level[i + 1], b, flops=flops)
-            nxt.append(merged)
+        pairs = [(level[i], level[i + 1]) for i in range(0, len(level) - 1, 2)]
+        nxt, U = _merge_round(pairs, b, flops, batched)
         if len(level) % 2 == 1:
             nxt.append(level[-1])
         level = nxt
     winner = level[0]
     if U is None:
-        # Single block: its own factorization provides U.
-        res = getf2(winner.block, flops=flops)
+        # Single block: its own factorization provides U (reference tier —
+        # these bits become the panel's U11).
+        res = getf2(winner.block, flops=flops, kernel_tier="reference")
         U = np.triu(res.lu)
         winner = CandidateSet(rows=winner.rows[res.perm], block=winner.block[res.perm])
     return TournamentResult(
@@ -253,36 +427,38 @@ def _binary_reduce(
 
 
 def _butterfly_reduce(
-    candidates: List[CandidateSet], b: int, flops: Optional[FlopCounter]
+    candidates: List[CandidateSet],
+    b: int,
+    flops: Optional[FlopCounter],
+    batched: bool = False,
 ) -> TournamentResult:
     """All-reduction schedule: every participant redundantly merges at each level.
 
     Mirrors the communication pattern of the parallel TSLU; sequentially the
     redundant merges are executed too (that is exactly the extra work the
-    paper trades for fewer messages).
+    paper trades for fewer messages).  With a non-reference tier each level's
+    ``pow2`` redundant merges are one batched call.
     """
     p = len(candidates)
     if p == 1:
-        return _binary_reduce(candidates, b, flops)
+        return _binary_reduce(candidates, b, flops, batched)
     # Pad to a power of two by replicating the last candidate set; the
     # replicas never win over their originals because ties keep the first row.
     pow2 = 1
     while pow2 < p:
         pow2 *= 2
-    padded = list(candidates) + [candidates[-1]] * (pow2 - p)
-    current = padded
+    current = list(candidates) + [candidates[-1]] * (pow2 - p)
     rounds = 0
     U = None
     k = 1
     while k < pow2:
         rounds += 1
-        nxt = []
+        pairs = []
         for i in range(pow2):
             partner = i ^ k
             lo, hi = (i, partner) if i < partner else (partner, i)
-            merged, U = merge_candidates(current[lo], current[hi], b, flops=flops)
-            nxt.append(merged)
-        current = nxt
+            pairs.append((current[lo], current[hi]))
+        current, U = _merge_round(pairs, b, flops, batched)
         k *= 2
     winner = current[0]
     return TournamentResult(

@@ -65,6 +65,7 @@ def tslu(
     block_size: Optional[int] = None,
     row_indices: Optional[Sequence[int]] = None,
     compute_thresholds: bool = False,
+    kernel_tier: Optional[str] = None,
 ) -> TSLUResult:
     """Factor a tall-skinny panel ``A`` (``m x b``) with ca-pivoting.
 
@@ -91,7 +92,11 @@ def tslu(
         larger matrix); purely cosmetic for the returned permutation.
     compute_thresholds:
         Also compute the per-column pivot-threshold history (costs one extra
-        pass over the panel).
+        pass over the panel).  Forces the reference kernel tier so the
+        recorded thresholds replay the seed arithmetic bit-for-bit.
+    kernel_tier:
+        Kernel tier for the tournament (None: process-wide default); see
+        :mod:`repro.kernels.tiers`.
 
     Returns
     -------
@@ -112,9 +117,13 @@ def tslu(
         scheme=partition,
         block=block_size or b,
     )
+    if compute_thresholds:
+        # Stability recording must replay the reference arithmetic exactly.
+        kernel_tier = "reference"
     blocks = [(g, A[g, :]) for g in groups]
     tres = tournament_pivoting(
-        blocks, b, flops=flops, schedule=schedule, local_kernel=local_kernel
+        blocks, b, flops=flops, schedule=schedule, local_kernel=local_kernel,
+        kernel_tier=kernel_tier,
     )
     k = min(m, b)
     winners = tres.winners[:k]

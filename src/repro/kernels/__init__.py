@@ -7,11 +7,12 @@ LAPACK/BLAS routines named in the paper (DGETF2, RGETF2, DGETRF, DLASWP,
 DTRSM, DGEMM).
 """
 
+from .batched import BatchedLUResult, getf2_batched, slab_flop_counters
 from .flops import FlopCounter, FlopFormulas
 from .gemm import gemm, gemm_update
 from .getf2 import LUResult, getf2, lu_reconstruct, split_lu
 from .getrf import BlockedLUResult, getrf_blocked, getrf_partial_pivoting
-from .laswp import apply_row_permutation, laswp
+from .laswp import apply_row_permutation, laswp, permute_rows_inplace
 from .pivoting import (
     apply_ipiv,
     compose_perms,
@@ -22,13 +23,29 @@ from .pivoting import (
     perm_to_matrix,
 )
 from .rgetf2 import rgetf2
+from .tiers import (
+    available_tiers,
+    get_kernel_tier,
+    kernel_tier,
+    resolve_tier,
+    set_kernel_tier,
+)
 from .trsm import trsm_lower_unit, trsm_right_upper, trsm_upper
 
 __all__ = [
     "FlopCounter",
     "FlopFormulas",
     "LUResult",
+    "BatchedLUResult",
     "BlockedLUResult",
+    "getf2_batched",
+    "slab_flop_counters",
+    "available_tiers",
+    "get_kernel_tier",
+    "kernel_tier",
+    "set_kernel_tier",
+    "resolve_tier",
+    "permute_rows_inplace",
     "getf2",
     "rgetf2",
     "getrf_blocked",

@@ -120,3 +120,52 @@ class FlopFormulas:
         m = float(m)
         n = float(n)
         return m * n * n - n**3 / 3.0
+
+    # ------------------------------------------------------------------
+    # Exact (not leading-order) counts, matching the reference loops step
+    # for step.  These are what the optimized kernel tiers charge so that
+    # flop ledgers are identical between tiers (all counts are integers
+    # well below 2**53, hence exact in float64 regardless of order).
+    # ------------------------------------------------------------------
+
+    @staticmethod
+    def getf2_exact(m: int, n: int, zero_columns=()) -> "FlopCounter":
+        """Exact counts of the reference :func:`~repro.kernels.getf2.getf2` loop.
+
+        ``zero_columns`` lists the column indices whose pivot was exactly
+        zero: the reference loop skips the scaling and the rank-1 update for
+        those columns (the pivot search is still performed and charged).
+        """
+        k = min(m, n)
+        muladds = 0
+        divides = 0
+        comparisons = 0
+        skipped = frozenset(int(j) for j in zero_columns)
+        for j in range(k):
+            comparisons += m - j - 1
+            if j in skipped:
+                continue
+            if j < m - 1:
+                divides += m - j - 1
+                if j < n - 1:
+                    muladds += 2 * (m - j - 1) * (n - j - 1)
+        return FlopCounter(float(muladds), float(divides), float(comparisons))
+
+    @staticmethod
+    def rgetf2_exact(m: int, n: int, threshold: int = 8) -> "FlopCounter":
+        """Exact counts of the reference recursive kernel on a nonsingular input.
+
+        Mirrors the recursion of :func:`~repro.kernels.rgetf2.rgetf2`: leaf
+        ``getf2`` counts plus the triangular solve (``n1^2 n2`` muladds) and
+        the GEMM update (``2 (m - n1) n1 n2`` muladds) of each split.
+        """
+        if n <= threshold or n == 1:
+            return FlopFormulas.getf2_exact(m, n)
+        n1 = n // 2
+        n2 = n - n1
+        total = FlopFormulas.rgetf2_exact(m, n1, threshold)
+        total.add_muladds(float(n1) * float(n1) * float(n2))
+        if m > n1:
+            total.add_muladds(2.0 * float(m - n1) * float(n1) * float(n2))
+        total.merge(FlopFormulas.rgetf2_exact(m - n1, n2, threshold))
+        return total

@@ -36,22 +36,29 @@ def gemm_update(
     B: np.ndarray,
     alpha: float = -1.0,
     flops: Optional[FlopCounter] = None,
+    work: Optional[np.ndarray] = None,
 ) -> np.ndarray:
     """Perform ``C <- C + alpha * A @ B`` in place and return ``C``.
 
     This is the trailing-matrix (Schur complement) update.  ``C`` must be a
     writable array; the update is done without allocating a second copy of
     ``C`` (only the product is materialised), following the in-place guidance
-    of the HPC style guides.
+    of the HPC style guides.  ``work`` — an optional flat, contiguous float64
+    buffer of at least ``C.size`` elements — receives the product instead of
+    a fresh allocation, letting drivers reuse one workspace across panels.
     """
     A = np.asarray(A, dtype=np.float64)
     B = np.asarray(B, dtype=np.float64)
     if flops is not None:
         flops.add_muladds(FlopFormulas.gemm(C.shape[0], C.shape[1], A.shape[1]))
-    if alpha == -1.0:
-        C -= A @ B
-    elif alpha == 1.0:
-        C += A @ B
+    if work is not None and work.size >= C.size and C.ndim == 2:
+        prod = np.matmul(A, B, out=work[: C.size].reshape(C.shape))
     else:
-        C += alpha * (A @ B)
+        prod = A @ B
+    if alpha == -1.0:
+        C -= prod
+    elif alpha == 1.0:
+        C += prod
+    else:
+        C += alpha * prod
     return C

@@ -16,7 +16,8 @@ from typing import NamedTuple, Optional
 
 import numpy as np
 
-from .flops import FlopCounter
+from .flops import FlopCounter, FlopFormulas
+from .tiers import lapack_module, resolve_tier
 
 
 class LUResult(NamedTuple):
@@ -47,6 +48,7 @@ def getf2(
     flops: Optional[FlopCounter] = None,
     overwrite: bool = False,
     track_growth: Optional[list] = None,
+    kernel_tier: Optional[str] = None,
 ) -> LUResult:
     """Factor ``A = P^T L U`` using unblocked Gaussian elimination with partial pivoting.
 
@@ -63,7 +65,15 @@ def getf2(
     track_growth:
         Optional list; if given, the maximum absolute value of the (active
         part of the) matrix after each elimination step is appended to it.
-        Used by the growth-factor study (Figure 2).
+        Used by the growth-factor study (Figure 2).  Requesting it forces the
+        reference tier so the recorded values are reproducible bit-for-bit.
+    kernel_tier:
+        ``"reference"``, ``"lapack"`` or ``"auto"`` (None: the process-wide
+        tier, see :mod:`repro.kernels.tiers`).  The ``lapack`` tier delegates
+        to ``scipy.linalg.lapack.dgetrf`` with closed-form flop accounting;
+        factor entries agree to rounding and pivot choices match the
+        reference loop in practice (identical tie-breaking; see the tiers
+        module for the near-tie caveat).
 
     Returns
     -------
@@ -74,8 +84,19 @@ def getf2(
         raise ValueError("getf2 expects a 2-D array")
     m, n = A.shape
     k = min(m, n)
+    tier = resolve_tier(kernel_tier, force_reference=track_growth is not None)
+    if tier == "lapack" and k > 0:
+        return _getf2_lapack(A, flops)
     ipiv = np.arange(k, dtype=np.int64)
     singular = False
+    swap_buf = np.empty(n, dtype=np.float64)
+    # Incremental growth tracking: after step j, row j and the multipliers of
+    # column j are final; the running maximum over those frozen entries plus a
+    # scan of the (just rewritten) trailing submatrix equals the full-matrix
+    # maximum — later row swaps only permute entries inside already-counted
+    # regions.  Same recorded values as scanning all of |A| each step, without
+    # the O(m*n)-per-column full-matrix pass.
+    frozen_max = 0.0
 
     for j in range(k):
         # Pivot search in column j, rows j..m-1.
@@ -84,28 +105,67 @@ def getf2(
         ipiv[j] = p
         if flops is not None:
             flops.add_comparisons(m - j - 1)
-        if A[p, j] == 0.0:
+        zero_pivot = A[p, j] == 0.0
+        if zero_pivot:
             singular = True
-            continue
-        if p != j:
-            A[[j, p], :] = A[[p, j], :]
-        if j < m - 1:
-            # Scale the multipliers.
-            A[j + 1 :, j] /= A[j, j]
-            if flops is not None:
-                flops.add_divides(m - j - 1)
-            # Rank-1 update of the trailing matrix.
-            if j < n - 1:
-                A[j + 1 :, j + 1 :] -= np.outer(A[j + 1 :, j], A[j, j + 1 :])
+        else:
+            if p != j:
+                # Buffered in-place swap: one reusable row buffer instead of
+                # the two fresh row copies a fancy-index swap allocates.
+                np.copyto(swap_buf, A[j])
+                np.copyto(A[j], A[p])
+                np.copyto(A[p], swap_buf)
+            if j < m - 1:
+                # Scale the multipliers.
+                A[j + 1 :, j] /= A[j, j]
                 if flops is not None:
-                    flops.add_muladds(2.0 * (m - j - 1) * (n - j - 1))
+                    flops.add_divides(m - j - 1)
+                # Rank-1 update of the trailing matrix.
+                if j < n - 1:
+                    A[j + 1 :, j + 1 :] -= np.outer(A[j + 1 :, j], A[j, j + 1 :])
+                    if flops is not None:
+                        flops.add_muladds(2.0 * (m - j - 1) * (n - j - 1))
         if track_growth is not None:
-            track_growth.append(float(np.max(np.abs(A))))
+            frozen_max = max(frozen_max, float(np.max(np.abs(A[j, :]))))
+            if j < m - 1:
+                frozen_max = max(frozen_max, float(np.max(np.abs(A[j + 1 :, j]))))
+            if not zero_pivot:
+                trailing = A[j + 1 :, j + 1 :]
+                current = frozen_max
+                if trailing.size:
+                    current = max(current, float(np.max(np.abs(trailing))))
+                track_growth.append(current)
 
     from .pivoting import ipiv_to_perm
 
     perm = ipiv_to_perm(ipiv, m)
     return LUResult(lu=A, ipiv=ipiv, perm=perm, singular=singular)
+
+
+def _getf2_lapack(A: np.ndarray, flops: Optional[FlopCounter]) -> LUResult:
+    """Fast tier: ``dgetrf`` with exact closed-form flop accounting.
+
+    ``A`` is this call's private working array (the public entry point has
+    already honoured ``overwrite``); the factors are copied back into it so
+    the ``lu is A`` contract of ``overwrite=True`` holds.
+    """
+    m, n = A.shape
+    k = min(m, n)
+    lu, piv, info = lapack_module().dgetrf(A)
+    if info < 0:  # pragma: no cover - argument errors cannot happen here
+        raise ValueError(f"dgetrf: illegal argument {-info}")
+    A[...] = lu
+    ipiv = np.asarray(piv[:k], dtype=np.int64)
+    if flops is not None:
+        # A zero on U's diagonal marks exactly the columns whose pivot was
+        # zero at elimination time (a nonzero pivot lands on the diagonal and
+        # is never touched again), i.e. the columns the reference loop skips.
+        zero_cols = np.flatnonzero(np.diagonal(A)[:k] == 0.0)
+        flops.merge(FlopFormulas.getf2_exact(m, n, zero_cols))
+    from .pivoting import ipiv_to_perm
+
+    perm = ipiv_to_perm(ipiv, m)
+    return LUResult(lu=A, ipiv=ipiv, perm=perm, singular=bool(info > 0))
 
 
 def getf2_nopivot(

@@ -45,14 +45,37 @@ def laswp(
     if k2 is None:
         k2 = len(ipiv)
     ks = range(k1, k2) if forward else range(k2 - 1, k1 - 1, -1)
+    swap_buf = np.empty(A.shape[1], dtype=A.dtype)
     for k in ks:
         r = int(ipiv[k]) + offset
         kk = k + offset
         if r != kk:
-            A[[kk, r], :] = A[[r, kk], :]
+            np.copyto(swap_buf, A[kk])
+            np.copyto(A[kk], A[r])
+            np.copyto(A[r], swap_buf)
     return A
 
 
 def apply_row_permutation(A: np.ndarray, perm: np.ndarray) -> np.ndarray:
     """Return ``A[perm, :]`` (a copy); convenience wrapper used by drivers."""
     return np.asarray(A)[np.asarray(perm, dtype=np.int64), :]
+
+
+def permute_rows_inplace(A: np.ndarray, perm: np.ndarray) -> np.ndarray:
+    """Apply ``A <- A[perm]`` in place, touching only the rows that move.
+
+    Fixed points of the permutation are never read or written, and the only
+    temporary is a gather of the *moved* rows — not the ``len(perm) x n``
+    copy of the whole array that ``A[:] = A[perm]`` would allocate.  Works
+    for 1-D and 2-D arrays; returns ``A``.
+    """
+    perm = np.asarray(perm, dtype=np.int64)
+    mp = perm.shape[0]
+    if A.shape[0] != mp:
+        raise ValueError("permutation length must match the leading dimension")
+    moved = np.flatnonzero(perm != np.arange(mp, dtype=np.int64))
+    if moved.size:
+        # The right-hand side fancy index materialises the moved source rows
+        # before any destination row is written, so overlap is safe.
+        A[moved] = A[perm[moved]]
+    return A

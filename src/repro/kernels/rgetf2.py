@@ -17,9 +17,10 @@ from typing import Optional
 
 import numpy as np
 
-from .flops import FlopCounter
+from .flops import FlopCounter, FlopFormulas
 from .getf2 import LUResult, getf2
 from .pivoting import ipiv_to_perm
+from .tiers import lapack_module, resolve_tier
 
 
 def rgetf2(
@@ -27,6 +28,7 @@ def rgetf2(
     flops: Optional[FlopCounter] = None,
     threshold: int = 8,
     overwrite: bool = False,
+    kernel_tier: Optional[str] = None,
 ) -> LUResult:
     """Factor ``A = P^T L U`` with recursive partial-pivoting LU.
 
@@ -44,6 +46,13 @@ def rgetf2(
         the arithmetic.
     overwrite:
         If True the input array is overwritten with the factors.
+    kernel_tier:
+        ``"reference"``, ``"lapack"`` or ``"auto"`` (None: process-wide tier).
+        The ``lapack`` tier delegates the whole factorization to ``dgetrf``
+        (itself a blocked/recursive implementation) and charges the closed
+        form of the reference recursion's counts; singular inputs fall back
+        to the reference recursion so the skip-singular-column semantics are
+        preserved exactly.
 
     Returns
     -------
@@ -54,10 +63,31 @@ def rgetf2(
     m, n = A.shape
     if m < n:
         raise ValueError("rgetf2 requires m >= n (tall panel)")
+    if resolve_tier(kernel_tier) == "lapack" and n > 0:
+        res = _rgetf2_lapack(A, flops, threshold)
+        if res is not None:
+            return res
     ipiv = np.arange(n, dtype=np.int64)
     singular = _rgetf2_inplace(A, ipiv, 0, flops, threshold)
     perm = ipiv_to_perm(ipiv, m)
     return LUResult(lu=A, ipiv=ipiv, perm=perm, singular=singular)
+
+
+def _rgetf2_lapack(
+    A: np.ndarray, flops: Optional[FlopCounter], threshold: int
+) -> Optional[LUResult]:
+    """Fast tier: whole-panel ``dgetrf``; None when the input is singular."""
+    m, n = A.shape
+    lu, piv, info = lapack_module().dgetrf(A)
+    if info > 0:
+        # Singular panel: replay the reference recursion (rare, and the only
+        # way to reproduce its skip-singular-column behaviour exactly).
+        return None
+    A[...] = lu
+    ipiv = np.asarray(piv, dtype=np.int64)
+    if flops is not None:
+        flops.merge(FlopFormulas.rgetf2_exact(m, n, threshold))
+    return LUResult(lu=A, ipiv=ipiv, perm=ipiv_to_perm(ipiv, m), singular=False)
 
 
 def _rgetf2_inplace(
@@ -89,11 +119,15 @@ def _rgetf2_inplace(
     # Factor the left half recursively.
     singular = _rgetf2_inplace(left, ipiv, col0, flops, threshold)
 
-    # Apply the left half's row swaps to the right half.
+    # Apply the left half's row swaps to the right half (buffered in-place
+    # swaps; a fancy-index swap would allocate two fresh rows per step).
+    swap_buf = np.empty(n2, dtype=np.float64)
     for k in range(n1):
         r = ipiv[col0 + k] - col0
         if r != k:
-            right[[k, r], :] = right[[r, k], :]
+            np.copyto(swap_buf, right[k])
+            np.copyto(right[k], right[r])
+            np.copyto(right[r], swap_buf)
 
     # Triangular solve: right[:n1, :] <- L11^{-1} right[:n1, :]
     L11 = np.tril(left[:n1, :n1], -1) + np.eye(n1)
@@ -115,11 +149,14 @@ def _rgetf2_inplace(
     # offset (col0 + n1), which coincides with row n1 of this view, so the
     # stored values are already absolute within this view.  Apply the same
     # swaps to the left block-columns below the diagonal.
+    left_buf = np.empty(n1, dtype=np.float64)
     for k in range(n2):
         idx = col0 + n1 + k
         r = ipiv[idx] - col0
         kk = n1 + k
         if r != kk:
-            A[[kk, r], :n1] = A[[r, kk], :n1]
+            np.copyto(left_buf, A[kk, :n1])
+            np.copyto(A[kk, :n1], A[r, :n1])
+            np.copyto(A[r, :n1], left_buf)
 
     return singular or singular2

@@ -1,0 +1,139 @@
+"""Kernel tier selection: reference Python loops vs. optimized LAPACK calls.
+
+The numerical kernels of this package come in *tiers*:
+
+``reference``
+    The original per-column Python loops.  Every stability quantity the paper
+    measures (growth histories, pivot thresholds) is recorded by this tier,
+    and its results define the bit-exact behaviour all other tiers are
+    validated against.
+
+``lapack``
+    Large factorizations are delegated to ``scipy.linalg.lapack.dgetrf`` with
+    closed-form flop/comparison accounting (see
+    :class:`~repro.kernels.flops.FlopFormulas`).  The factor entries agree to
+    rounding but are *not* bit-identical, because LAPACK scales multipliers
+    by a precomputed reciprocal and vendor BLAS uses FMA in the rank-1
+    update.  Pivot choices match the reference tier on every tested input
+    (LAPACK's ``IDAMAX`` breaks ties towards the first maximum exactly like
+    ``numpy.argmax``) — but because the compared trailing entries are
+    rounded differently, an adversarial near-tie within ~1 ulp could in
+    principle flip a pivot; this tier is therefore used only where the pivot
+    *order* flows onward (tournament leaves, plain factorizations), the
+    agreement is enforced by ``tests/test_kernels_tiers.py``, and call sites
+    where bits are contractual (tournament merges, growth tracking,
+    threshold recording) always pin the reference tier instead.
+
+``auto`` (the default)
+    Resolves to ``lapack`` whenever SciPy's LAPACK bindings are importable
+    and the caller did not request stability recording; falls back to
+    ``reference`` otherwise.  (SciPy is a hard dependency of the TRSM
+    kernels in this package, so in practice the fallback only triggers in
+    stripped-down environments where :mod:`repro.kernels` is vendored
+    piecemeal.)
+
+Selection, in order of precedence:
+
+1. per call: ``getf2(A, kernel_tier="lapack")`` (also threaded through
+   ``tournament_pivoting``, ``tslu``, ``calu``, ``ptslu``, ``pcalu``);
+2. process-wide: :func:`set_kernel_tier` / the :func:`kernel_tier` context
+   manager;
+3. environment: ``REPRO_KERNEL_TIER``;
+4. default: ``auto``.
+
+Kernels that record stability quantities (``track_growth=``,
+``compute_thresholds=``) force the reference tier regardless of the knob, so
+the paper's stability experiments are bit-identical no matter how the process
+is configured.
+"""
+
+from __future__ import annotations
+
+import os
+from contextlib import contextmanager
+from typing import Iterator, Optional
+
+#: Recognised tier names.
+TIERS = ("auto", "reference", "lapack")
+
+#: Tier used when neither a per-call argument, a process-wide override, nor
+#: the environment variable is given.
+DEFAULT_TIER = "auto"
+
+#: Environment variable consulted by :func:`get_kernel_tier`.
+ENV_VAR = "REPRO_KERNEL_TIER"
+
+try:  # pragma: no cover - exercised implicitly by every tier resolution
+    from scipy.linalg import lapack as _scipy_lapack
+
+    HAVE_LAPACK = hasattr(_scipy_lapack, "dgetrf")
+except Exception:  # pragma: no cover - scipy missing or broken
+    _scipy_lapack = None
+    HAVE_LAPACK = False
+
+_process_tier: Optional[str] = None
+
+
+def lapack_module():
+    """Return the ``scipy.linalg.lapack`` module (None when unavailable)."""
+    return _scipy_lapack
+
+
+def _validate(tier: str) -> str:
+    if tier not in TIERS:
+        raise ValueError(f"unknown kernel tier {tier!r}; available: {list(TIERS)}")
+    return tier
+
+
+def available_tiers() -> list:
+    """Tier names usable in this process (``lapack`` requires SciPy)."""
+    return [t for t in TIERS if t != "lapack" or HAVE_LAPACK]
+
+
+def get_kernel_tier() -> str:
+    """The process-wide kernel tier (override > ``REPRO_KERNEL_TIER`` > auto)."""
+    if _process_tier is not None:
+        return _process_tier
+    env = os.environ.get(ENV_VAR)
+    if env:
+        return _validate(env)
+    return DEFAULT_TIER
+
+
+def set_kernel_tier(tier: Optional[str]) -> None:
+    """Set (or with ``None`` clear) the process-wide kernel tier override."""
+    global _process_tier
+    _process_tier = _validate(tier) if tier is not None else None
+
+
+@contextmanager
+def kernel_tier(tier: str) -> Iterator[None]:
+    """Context manager scoping a process-wide tier override."""
+    global _process_tier
+    previous = _process_tier
+    set_kernel_tier(tier)
+    try:
+        yield
+    finally:
+        _process_tier = previous
+
+
+def resolve_tier(tier: Optional[str] = None, force_reference: bool = False) -> str:
+    """Resolve a per-call ``kernel_tier=`` argument to ``reference``/``lapack``.
+
+    ``force_reference`` is set by kernels when the caller requested stability
+    recording (growth histories, pivot thresholds): those paths must replay
+    the reference arithmetic bit-for-bit, so every other tier is overridden.
+    An explicit ``"lapack"`` request without SciPy raises; ``"auto"`` degrades
+    silently.
+    """
+    if force_reference:
+        return "reference"
+    name = _validate(tier) if tier is not None else get_kernel_tier()
+    if name == "auto":
+        return "lapack" if HAVE_LAPACK else "reference"
+    if name == "lapack" and not HAVE_LAPACK:
+        raise RuntimeError(
+            "kernel tier 'lapack' requested but scipy.linalg.lapack is not available"
+        )
+    return name

@@ -154,13 +154,15 @@ def block_right_looking_rank(
             channel="col",
         )
 
-        # Extract L11 / L21 from the packed panel broadcast.
+        # Extract L11 / L21 from the packed panel broadcast.  The diagonal
+        # block is passed packed: the triangular solve reads only its strict
+        # lower part (unit diagonal implied), so no tril + eye temporaries
+        # are materialised.
         diag_sel = (packed_rows >= j0) & (packed_rows < j0 + jb)
         trail_sel = packed_rows >= j0 + jb
         L11 = None
         if myrow == prow_owner:
-            diag_block = packed_panel[diag_sel, :]
-            L11 = np.tril(diag_block, -1) + np.eye(jb)
+            L11 = packed_panel[diag_sel, :]
         L21_local = packed_panel[trail_sel, :]
 
         # --------------------------------- 4. U12 block-row (grid row prow_owner)

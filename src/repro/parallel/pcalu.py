@@ -28,6 +28,7 @@ from .ptslu import ptslu_rank
 
 def make_calu_panel(
     local_kernel: str = "getf2",
+    kernel_tier: Optional[str] = None,
 ) -> Callable[..., List[Tuple[int, int]]]:
     """Create the CALU panel-factorization callback for the shared driver.
 
@@ -37,6 +38,10 @@ def make_calu_panel(
         Kernel used for the local (leaf) factorizations of the tournament:
         ``"getf2"`` (classic) or ``"rgetf2"`` (recursive) — the paper's Cl /
         Rec configurations.
+    kernel_tier:
+        Kernel tier for the leaf factorizations (None: process-wide
+        default).  Tournament merges always run reference-tier arithmetic,
+        so the simulated factors do not depend on the tier.
     """
 
     def panel(
@@ -70,6 +75,7 @@ def make_calu_panel(
             channel="col",
             tag=(tag, "tslu"),
             compute_L=False,
+            kernel_tier=kernel_tier,
         )
         winners = res["winners"]
         U = np.asarray(res["U"], dtype=np.float64)
@@ -110,19 +116,24 @@ def pcalu(
     local_kernel: str = "getf2",
     machine: Optional[MachineModel] = None,
     engine: Union[None, str, ExecutionEngine] = None,
+    kernel_tier: Optional[str] = None,
 ) -> DistributedLUResult:
     """Distributed CALU of ``A`` over ``grid`` with block size ``block_size``.
 
     ``engine`` selects the virtual-MPI execution backend ("threaded",
-    "event", or ``None`` for the process-wide default).  Returns the gathered
-    factors, the pivot sequence and the per-rank communication trace (see
+    "event", or ``None`` for the process-wide default); ``kernel_tier``
+    selects the numerical tier for the rank-local leaf factorizations (see
+    :mod:`repro.kernels.tiers`).  Returns the gathered factors, the pivot
+    sequence and the per-rank communication trace (see
     :class:`~repro.parallel.driver.DistributedLUResult`).
     """
     return run_block_lu(
         A,
         grid,
         block_size,
-        panel_factory=lambda: make_calu_panel(local_kernel=local_kernel),
+        panel_factory=lambda: make_calu_panel(
+            local_kernel=local_kernel, kernel_tier=kernel_tier
+        ),
         machine=machine,
         engine=engine,
     )

@@ -30,7 +30,9 @@ from ..distsim.collectives import allreduce
 from ..distsim.engine import ExecutionEngine
 from ..distsim.tracing import RunTrace
 from ..distsim.vmpi import Communicator, run_spmd
+from ..kernels.batched import getf2_batched, slab_flop_counters
 from ..kernels.flops import FlopCounter
+from ..kernels.tiers import resolve_tier
 from ..kernels.trsm import trsm_right_upper
 from ..layouts.block1d import Block1D, BlockCyclic1D
 from ..machines.model import MachineModel
@@ -106,6 +108,8 @@ def ptslu_rank(
     channel: str = "col",
     tag: str = "tslu",
     compute_L: bool = True,
+    kernel_tier: Optional[str] = None,
+    precomputed_candidate: Optional[Tuple[CandidateSet, FlopCounter]] = None,
 ) -> dict:
     """The SPMD body of TSLU executed by one rank.
 
@@ -128,6 +132,16 @@ def ptslu_rank(
         column).
     tag:
         Tag namespace (must differ between concurrent panels).
+    kernel_tier:
+        Kernel tier for the rank-local factorizations (None: process-wide
+        default).  Only the pivot order flows into the candidate set, so the
+        fast tier leaves the simulated results bit-identical.
+    precomputed_candidate:
+        Optional ``(candidate, flops)`` pair computed ahead of the SPMD run
+        by the batched leaf step of :func:`ptslu` — the candidate set and the
+        flop counts are exactly what the local factorization would produce,
+        so the trace is unchanged; only the host-side Python overhead of
+        ``P`` sequential leaf factorizations is gone.
 
     Returns
     -------
@@ -137,14 +151,19 @@ def ptslu_rank(
     """
     group = list(group) if group is not None else list(range(comm.size))
     scratch = FlopCounter()
-    candidate = local_candidates(
-        np.asarray(local_rows, dtype=np.int64),
-        np.asarray(local_block, dtype=np.float64),
-        b,
-        flops=scratch,
-        local_kernel=local_kernel,
-    )
-    comm.charge_counter(scratch)
+    if precomputed_candidate is not None:
+        candidate, leaf_flops = precomputed_candidate
+        comm.charge_counter(leaf_flops)
+    else:
+        candidate = local_candidates(
+            np.asarray(local_rows, dtype=np.int64),
+            np.asarray(local_block, dtype=np.float64),
+            b,
+            flops=scratch,
+            local_kernel=local_kernel,
+            kernel_tier=kernel_tier,
+        )
+        comm.charge_counter(scratch)
 
     if len(group) > 1:
         winner = _tournament_allreduce(comm, candidate, b, group, channel=channel, tag=tag)
@@ -177,6 +196,53 @@ def ptslu_rank(
     }
 
 
+def _batched_leaf_candidates(
+    rows_per_rank: List[np.ndarray],
+    A: np.ndarray,
+    b: int,
+) -> List[Tuple[CandidateSet, FlopCounter]]:
+    """Precompute every rank's leaf candidate set in batched ``getf2`` calls.
+
+    Ranks owning same-shape blocks are factored together; the returned
+    candidate sets and flop counters are exactly (bit-for-bit, count-for-
+    count) what :func:`~repro.core.tournament.local_candidates` computes on
+    each rank, so the simulated traces are unchanged.
+    """
+    blocks = [np.ascontiguousarray(A[rows, :]) for rows in rows_per_rank]
+    out: List[Optional[Tuple[CandidateSet, FlopCounter]]] = [None] * len(blocks)
+    groups: dict = {}
+    for i, blk in enumerate(blocks):
+        groups.setdefault(blk.shape, []).append(i)
+    for shape, idxs in groups.items():
+        m_blk, n_blk = shape
+        if m_blk == 0:
+            for i in idxs:
+                out[i] = (
+                    CandidateSet(rows=rows_per_rank[i][:0], block=blocks[i][:0]),
+                    FlopCounter(),
+                )
+            continue
+        if len(idxs) == 1:
+            i = idxs[0]
+            scratch = FlopCounter()
+            cand = local_candidates(
+                rows_per_rank[i], blocks[i], b, flops=scratch
+            )
+            out[i] = (cand, scratch)
+            continue
+        # Private temporary stack; candidates gather from the original blocks.
+        res = getf2_batched(np.stack([blocks[i] for i in idxs]), overwrite=True)
+        counters = slab_flop_counters(m_blk, n_blk, res.zero_columns)
+        k = min(b, m_blk)
+        for s, i in enumerate(idxs):
+            chosen = res.perm[s][:k]
+            cand = CandidateSet(
+                rows=rows_per_rank[i][chosen], block=blocks[i][chosen, :]
+            )
+            out[i] = (cand, counters[s])
+    return out
+
+
 def ptslu(
     A: np.ndarray,
     nprocs: int,
@@ -185,6 +251,7 @@ def ptslu(
     local_kernel: str = "getf2",
     machine: Optional[MachineModel] = None,
     engine: Union[None, str, ExecutionEngine] = None,
+    kernel_tier: Optional[str] = None,
 ) -> PTSLUResult:
     """Driver: distribute an ``m x b`` panel, run SPMD TSLU, gather the factors.
 
@@ -206,6 +273,12 @@ def ptslu(
         Execution engine for the SPMD run ("threaded", "event", an
         :class:`~repro.distsim.engine.base.ExecutionEngine` instance, or
         ``None`` for the process-wide default).
+    kernel_tier:
+        Kernel tier for the rank-local arithmetic (None: process-wide
+        default).  With a non-reference tier the ``getf2`` leaf
+        factorizations of all ranks are precomputed in batched calls — the
+        candidate sets and flop charges are identical, only the host-side
+        overhead of ``P`` sequential Python-loop factorizations is removed.
 
     Returns
     -------
@@ -222,6 +295,10 @@ def ptslu(
 
     rows_per_rank = [dist.rows_of(p) for p in range(nprocs)]
 
+    precomputed: Optional[List[Tuple[CandidateSet, FlopCounter]]] = None
+    if resolve_tier(kernel_tier) != "reference" and local_kernel == "getf2":
+        precomputed = _batched_leaf_candidates(rows_per_rank, A, b)
+
     def rank_fn(comm: Communicator) -> dict:
         rows = rows_per_rank[comm.rank]
         return ptslu_rank(
@@ -230,6 +307,8 @@ def ptslu(
             A[rows, :],
             b,
             local_kernel=local_kernel,
+            kernel_tier=kernel_tier,
+            precomputed_candidate=None if precomputed is None else precomputed[comm.rank],
         )
 
     trace = run_spmd(nprocs, rank_fn, machine=machine, engine=engine)

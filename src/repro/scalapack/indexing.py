@@ -1,0 +1,18 @@
+"""Shared local-index helpers for the simulated ScaLAPACK routines."""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def is_contiguous_range(idx: np.ndarray) -> bool:
+    """True when a **sorted ascending** index vector is a contiguous range.
+
+    The local row/column index vectors produced by ``np.nonzero`` over
+    ownership masks are always ascending; this predicate lets the local
+    update kernels replace a fancy-index gather + scatter with a direct
+    slice view.  Callers must not pass unsorted indices — the span test
+    would accept e.g. ``[1, 3, 2, 4]`` and the slice view would then pair
+    rows with the wrong operand rows.
+    """
+    return idx.size > 0 and int(idx[-1]) - int(idx[0]) + 1 == idx.size

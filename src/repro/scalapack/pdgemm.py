@@ -16,6 +16,7 @@ import numpy as np
 from ..distsim.vmpi import Communicator
 from ..kernels.flops import FlopCounter
 from ..kernels.gemm import gemm_update
+from .indexing import is_contiguous_range
 
 
 def pdgemm_trailing_update(
@@ -48,7 +49,15 @@ def pdgemm_trailing_update(
     if rows.size == 0 or cols.size == 0:
         return
     scratch = FlopCounter()
-    block = Aloc[np.ix_(rows, cols)]
-    gemm_update(block, L21_local, U12_local, flops=scratch)
-    Aloc[np.ix_(rows, cols)] = block
+    if is_contiguous_range(rows) and is_contiguous_range(cols):
+        # Trailing rows/cols form contiguous local ranges (always true on
+        # small grids, and for the last panels on any grid): update the view
+        # in place, skipping the gather + scatter round trip.
+        block = Aloc[rows[0] : rows[-1] + 1, cols[0] : cols[-1] + 1]
+        gemm_update(block, L21_local, U12_local, flops=scratch)
+    else:
+        block = Aloc[np.ix_(rows, cols)]
+        gemm_update(block, L21_local, U12_local, flops=scratch)
+        Aloc[np.ix_(rows, cols)] = block
     comm.charge_counter(scratch)
+

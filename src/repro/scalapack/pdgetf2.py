@@ -31,6 +31,7 @@ from ..distsim.collectives import allreduce, broadcast
 from ..distsim.vmpi import Communicator
 from ..kernels.flops import FlopCounter
 from ..layouts.block_cyclic import BlockCyclic2D
+from .indexing import is_contiguous_range
 from .pdlaswp import pdlaswp
 
 
@@ -120,9 +121,18 @@ def make_pdgetf2_panel() -> Callable[..., List[Tuple[int, int]]]:
                 Aloc[bl, lcol] = mult
                 scratch.add_divides(float(bl.size))
                 if jc + 1 < jb:
-                    Aloc[np.ix_(bl, panel_lcols[jc + 1 :])] -= np.outer(mult, seg[1:])
+                    sub = panel_lcols[jc + 1 :]
+                    if is_contiguous_range(bl) and is_contiguous_range(sub):
+                        # Contiguous local ranges: rank-1 update in place on
+                        # a view, no fancy-index gather + scatter.
+                        Aloc[bl[0] : bl[-1] + 1, sub[0] : sub[-1] + 1] -= np.outer(
+                            mult, seg[1:]
+                        )
+                    else:
+                        Aloc[np.ix_(bl, sub)] -= np.outer(mult, seg[1:])
                     scratch.add_muladds(2.0 * bl.size * (jb - jc - 1))
                 comm.charge_counter(scratch)
         return swaps
 
     return panel
+

@@ -113,8 +113,12 @@ def pdlaswp(
         l1 = dist.global_to_local_row(r1)
         l2 = dist.global_to_local_row(r2)
         if gr1 == gr2:
-            # Both rows on this grid row: purely local swap.
-            Aloc[np.ix_([l1, l2], cols)] = Aloc[np.ix_([l2, l1], cols)]
+            # Both rows on this grid row: purely local swap.  The fancy read
+            # already materialises one row segment; the old np.ix_ form
+            # gathered and scattered both rows.
+            buf = Aloc[l1, cols]
+            Aloc[l1, cols] = Aloc[l2, cols]
+            Aloc[l2, cols] = buf
             continue
         if myrow == gr1:
             mine, peer_row, my_local = r1, gr2, l1

@@ -15,6 +15,7 @@ import numpy as np
 from ..distsim.vmpi import Communicator
 from ..kernels.flops import FlopCounter
 from ..kernels.trsm import trsm_lower_unit
+from .indexing import is_contiguous_range
 
 
 def pdtrsm_block_row(
@@ -49,8 +50,16 @@ def pdtrsm_block_row(
     if rows.size == 0 or cols.size == 0:
         return np.zeros((rows.size, cols.size))
     scratch = FlopCounter()
-    block = Aloc[np.ix_(rows, cols)]
-    u12 = trsm_lower_unit(L11[: rows.size, : rows.size], block, flops=scratch)
+    if is_contiguous_range(rows) and is_contiguous_range(cols):
+        # Contiguous local ranges: solve against the view and write straight
+        # back, no gather + scatter round trip.
+        block = Aloc[rows[0] : rows[-1] + 1, cols[0] : cols[-1] + 1]
+        u12 = trsm_lower_unit(L11[: rows.size, : rows.size], block, flops=scratch)
+        block[...] = u12
+    else:
+        block = Aloc[np.ix_(rows, cols)]
+        u12 = trsm_lower_unit(L11[: rows.size, : rows.size], block, flops=scratch)
+        Aloc[np.ix_(rows, cols)] = u12
     comm.charge_counter(scratch)
-    Aloc[np.ix_(rows, cols)] = u12
     return u12
+

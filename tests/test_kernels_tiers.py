@@ -1,0 +1,276 @@
+"""Property tests for the kernel tiers and the batched tournament.
+
+The contract under test:
+
+* the batched kernel (:func:`repro.kernels.getf2_batched`) is **bit-identical**
+  per slab to the reference ``getf2`` loop — factors, pivots, permutations,
+  singularity flags and flop counts;
+* the LAPACK tier picks **identical pivots** (and therefore permutations and
+  tournament winners) and charges **exactly** the reference flop counts; its
+  factor entries agree to rounding (LAPACK scales by a reciprocal and vendor
+  BLAS uses FMA, so factor bits legitimately differ — every call site where
+  bits matter pins the reference tier instead);
+* the batched tournament (``kernel_tier="auto"``) returns bit-identical
+  winners, permutations and ``U`` factors to the sequential reference
+  schedule, across non-power-of-two ``P``, panel sizes that do not divide
+  ``m``, and singular blocks;
+* stability recording (growth, thresholds) forces the reference tier, so the
+  recorded histories are unchanged by the knob.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import calu, tslu, tournament_pivoting, partition_rows
+from repro.kernels import (
+    FlopCounter,
+    getf2,
+    getf2_batched,
+    getrf_partial_pivoting,
+    kernel_tier,
+    permute_rows_inplace,
+    rgetf2,
+    resolve_tier,
+    set_kernel_tier,
+    slab_flop_counters,
+)
+from repro.kernels.tiers import HAVE_LAPACK
+from repro.parallel import ptslu
+from repro.randmat import randn, tall_skinny
+
+pytestmark = pytest.mark.skipif(not HAVE_LAPACK, reason="scipy LAPACK unavailable")
+
+
+def _counts(f: FlopCounter):
+    return (f.muladds, f.divides, f.comparisons)
+
+
+# ------------------------------------------------------------ tier selection
+def test_tier_resolution_and_overrides(monkeypatch):
+    monkeypatch.delenv("REPRO_KERNEL_TIER", raising=False)
+    assert resolve_tier(None) == "lapack"  # auto default with scipy present
+    assert resolve_tier("reference") == "reference"
+    assert resolve_tier(None, force_reference=True) == "reference"
+    with kernel_tier("reference"):
+        assert resolve_tier(None) == "reference"
+    assert resolve_tier(None) == "lapack"
+    monkeypatch.setenv("REPRO_KERNEL_TIER", "reference")
+    assert resolve_tier(None) == "reference"
+    set_kernel_tier("auto")  # process override beats the environment
+    try:
+        assert resolve_tier(None) == "lapack"
+    finally:
+        set_kernel_tier(None)
+    with pytest.raises(ValueError):
+        resolve_tier("nope")
+
+
+# ------------------------------------------------------------- LAPACK tier
+@pytest.mark.parametrize("m,n", [(1, 1), (8, 4), (33, 17), (64, 32), (40, 7), (7, 9), (12, 12)])
+def test_lapack_tier_identical_pivots_and_exact_flops(m, n):
+    A = randn(m, n, seed=m * 31 + n)
+    fr, fl = FlopCounter(), FlopCounter()
+    ref = getf2(A, flops=fr, kernel_tier="reference")
+    fast = getf2(A, flops=fl, kernel_tier="lapack")
+    assert np.array_equal(ref.ipiv, fast.ipiv)
+    assert np.array_equal(ref.perm, fast.perm)
+    assert ref.singular == fast.singular
+    assert _counts(fr) == _counts(fl)
+    assert np.allclose(ref.lu, fast.lu, atol=1e-11)
+
+
+@pytest.mark.parametrize("zero_cols", [(0,), (2,), (0, 3), (2, 4)])
+def test_lapack_tier_singular_columns_exact_flops(zero_cols):
+    A = randn(12, 6, seed=5)
+    for c in zero_cols:
+        A[:, c] = 0.0
+    fr, fl = FlopCounter(), FlopCounter()
+    ref = getf2(A, flops=fr, kernel_tier="reference")
+    fast = getf2(A, flops=fl, kernel_tier="lapack")
+    assert ref.singular and fast.singular
+    assert np.array_equal(ref.ipiv, fast.ipiv)
+    assert np.array_equal(ref.perm, fast.perm)
+    assert _counts(fr) == _counts(fl)
+
+
+def test_lapack_tier_overwrite_contract():
+    A = randn(8, 8, seed=1)
+    res = getf2(A, overwrite=True, kernel_tier="lapack")
+    assert res.lu is A
+
+
+def test_rgetf2_lapack_tier_matches_reference():
+    A = randn(48, 24, seed=9)
+    fr, fl = FlopCounter(), FlopCounter()
+    ref = rgetf2(A, flops=fr, kernel_tier="reference")
+    fast = rgetf2(A, flops=fl, kernel_tier="lapack")
+    assert np.array_equal(ref.perm, fast.perm)
+    assert _counts(fr) == _counts(fl)
+    assert np.allclose(ref.lu, fast.lu, atol=1e-10)
+
+
+# ------------------------------------------------------------- batched kernel
+@pytest.mark.parametrize("nb,m,n", [(1, 4, 4), (8, 16, 8), (5, 7, 7), (3, 4, 8), (6, 64, 32), (4, 2, 2)])
+def test_batched_getf2_bit_identical_to_reference(nb, m, n):
+    rng = np.random.default_rng(nb * 100 + m + n)
+    stack = rng.standard_normal((nb, m, n))
+    stack[0, :, min(n - 1, 2)] = 0.0  # an exactly singular slab
+    if m > 3:
+        stack[-1, 3] = stack[-1, 0]  # a duplicated-row slab
+    fb = FlopCounter()
+    res = getf2_batched(stack, flops=fb)
+    fs = FlopCounter()
+    per_slab = slab_flop_counters(m, n, res.zero_columns)
+    for i in range(nb):
+        fi = FlopCounter()
+        ref = getf2(stack[i], flops=fi, kernel_tier="reference")
+        assert np.array_equal(res.lu[i], ref.lu)  # bitwise, not allclose
+        assert np.array_equal(res.ipiv[i], ref.ipiv)
+        assert np.array_equal(res.perm[i], ref.perm)
+        assert bool(res.singular[i]) == ref.singular
+        assert _counts(per_slab[i]) == _counts(fi)
+        fs.merge(fi)
+    assert _counts(fb) == _counts(fs)
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    nb=st.integers(1, 6),
+    m=st.integers(1, 12),
+    n=st.integers(1, 10),
+    seed=st.integers(0, 2**16),
+)
+def test_batched_getf2_bit_identical_property(nb, m, n, seed):
+    stack = np.random.default_rng(seed).standard_normal((nb, m, n))
+    res = getf2_batched(stack)
+    for i in range(nb):
+        ref = getf2(stack[i], kernel_tier="reference")
+        assert np.array_equal(res.lu[i], ref.lu)
+        assert np.array_equal(res.perm[i], ref.perm)
+
+
+# --------------------------------------------------------- batched tournament
+@pytest.mark.parametrize("schedule", ["binary", "butterfly", "flat"])
+@pytest.mark.parametrize("P,b", [(1, 4), (2, 3), (3, 4), (5, 2), (8, 8), (13, 3)])
+def test_tournament_auto_bit_identical_to_reference(schedule, P, b):
+    m = P * b * 2 + 3  # m not a multiple of P*b
+    A = randn(m, b, seed=P * 1000 + b)
+    A[m // 2] = 0.0  # a singular (zero) row in some block
+    blocks = [(g, A[g, :]) for g in partition_rows(m, P)]
+    fa, fr = FlopCounter(), FlopCounter()
+    auto = tournament_pivoting(blocks, b, flops=fa, schedule=schedule, kernel_tier="auto")
+    ref = tournament_pivoting(blocks, b, flops=fr, schedule=schedule, kernel_tier="reference")
+    assert np.array_equal(auto.winners, ref.winners)
+    assert np.array_equal(auto.U, ref.U)  # bitwise
+    assert auto.rounds == ref.rounds
+    assert _counts(fa) == _counts(fr)
+
+
+def test_tournament_all_zero_panel_auto_matches_reference():
+    A = np.zeros((16, 2))
+    A[3] = [1.0, 2.0]
+    A[11] = [3.0, -1.0]
+    blocks = [(g, A[g, :]) for g in partition_rows(16, 4)]
+    auto = tournament_pivoting(blocks, 2, kernel_tier="auto")
+    ref = tournament_pivoting(blocks, 2, kernel_tier="reference")
+    assert np.array_equal(auto.winners, ref.winners)
+    assert np.array_equal(auto.U, ref.U)
+
+
+@pytest.mark.parametrize("m,b,P", [(30, 5, 4), (67, 5, 6), (64, 8, 8)])
+def test_tslu_auto_bit_identical(m, b, P):
+    A = tall_skinny(m, b, seed=m + b + P)
+    auto = tslu(A, nblocks=P, kernel_tier="auto")
+    ref = tslu(A, nblocks=P, kernel_tier="reference")
+    assert np.array_equal(auto.perm, ref.perm)
+    assert np.array_equal(auto.winners, ref.winners)
+    assert np.array_equal(auto.L, ref.L)
+    assert np.array_equal(auto.U, ref.U)
+
+
+@pytest.mark.parametrize("n,b,P", [(48, 8, 4), (50, 7, 3), (64, 16, 8)])
+def test_calu_auto_bit_identical(n, b, P):
+    A = randn(n, seed=n + b)
+    auto = calu(A, block_size=b, nblocks=P, kernel_tier="auto")
+    ref = calu(A, block_size=b, nblocks=P, kernel_tier="reference")
+    assert np.array_equal(auto.perm, ref.perm)
+    assert np.array_equal(auto.L, ref.L)
+    assert np.array_equal(auto.U, ref.U)
+    assert _counts(auto.flops) == _counts(ref.flops)
+
+
+def test_ptslu_auto_bit_identical_and_same_trace():
+    A = tall_skinny(67, 5, seed=11)  # m not a multiple of P*b
+    auto = ptslu(A, nprocs=6, engine="event", kernel_tier="auto")
+    ref = ptslu(A, nprocs=6, engine="event", kernel_tier="reference")
+    assert np.array_equal(auto.winners, ref.winners)
+    assert np.array_equal(auto.perm, ref.perm)
+    assert np.array_equal(auto.L, ref.L)
+    assert np.array_equal(auto.U, ref.U)
+    assert auto.trace.summary() == ref.trace.summary()
+
+
+# ------------------------------------------------- stability forces reference
+def test_growth_recording_is_tier_independent():
+    A = randn(48, seed=21)
+    auto = calu(A, block_size=8, nblocks=4, track_growth=True,
+                compute_thresholds=True, kernel_tier="auto")
+    ref = calu(A, block_size=8, nblocks=4, track_growth=True,
+               compute_thresholds=True, kernel_tier="reference")
+    assert auto.growth_history == ref.growth_history
+    assert np.array_equal(auto.threshold_history, ref.threshold_history)
+
+
+def test_getf2_incremental_growth_matches_full_matrix_scan():
+    """The incremental frozen-max + trailing-scan recording must reproduce the
+    full |A| scan exactly, including skipped singular columns."""
+    for seed, singular_col in [(3, None), (4, 2), (5, 0)]:
+        A = randn(14, 9, seed=seed)
+        if singular_col is not None:
+            A[:, singular_col] = 0.0
+        history: list = []
+        getf2(A, track_growth=history)
+        # Naive reference: replay the elimination, scanning all of |A|.
+        B = np.array(A)
+        m, n = B.shape
+        expected = []
+        for j in range(min(m, n)):
+            p = int(np.argmax(np.abs(B[j:, j]))) + j
+            if B[p, j] == 0.0:
+                continue
+            if p != j:
+                B[[j, p], :] = B[[p, j], :]
+            if j < m - 1:
+                B[j + 1 :, j] /= B[j, j]
+                if j < n - 1:
+                    B[j + 1 :, j + 1 :] -= np.outer(B[j + 1 :, j], B[j, j + 1 :])
+            expected.append(float(np.max(np.abs(B))))
+        assert history == expected
+
+
+def test_gepp_growth_unchanged_under_auto_tier():
+    A = randn(32, seed=8)
+    g_auto = getrf_partial_pivoting(A, track_growth=True, kernel_tier="auto")
+    g_ref = getrf_partial_pivoting(A, track_growth=True, kernel_tier="reference")
+    assert g_auto.growth_history == g_ref.growth_history
+    assert np.array_equal(g_auto.U, g_ref.U)
+
+
+# --------------------------------------------------------------- permutation
+def test_permute_rows_inplace_matches_gather():
+    rng = np.random.default_rng(0)
+    for m in [1, 2, 7, 32]:
+        A = rng.standard_normal((m, 5))
+        perm = rng.permutation(m)
+        expected = A[perm, :]
+        permute_rows_inplace(A, perm)
+        assert np.array_equal(A, expected)
+    v = np.arange(10)
+    perm = np.random.default_rng(1).permutation(10)
+    expected = v[perm]
+    permute_rows_inplace(v, perm)
+    assert np.array_equal(v, expected)

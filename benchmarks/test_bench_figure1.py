@@ -1,16 +1,25 @@
-"""Benchmark / regeneration of Figure 1: the worked TSLU example."""
+"""Benchmark / regeneration of Figure 1: the worked TSLU example.
+
+Rows come from the experiment registry (``repro.harness``): per-round
+candidate rows plus a summary row with the pivots and the residual.
+"""
 
 from __future__ import annotations
 
+from repro.experiments import format_table
+from repro.harness import get_spec
 
-
-from repro.experiments import figure1
+SPEC = get_spec("figure1")
 
 
 def test_bench_figure1_example(benchmark, attach_rows):
-    result = benchmark(figure1.run)
-    assert result["pivots_match_gepp"]
-    assert result["factorization_residual"] < 1e-12
-    benchmark.extra_info["tslu_pivots"] = result["tslu_pivots"]
-    benchmark.extra_info["gepp_pivots"] = result["gepp_pivots"]
-    print("\n" + figure1.describe(result))
+    rows = benchmark(SPEC.run)
+    summary = rows[-1]
+    assert summary["record"] == "summary"
+    assert summary["pivots_match_gepp"]
+    assert summary["factorization_residual"] < 1e-12
+    benchmark.extra_info["tslu_pivots"] = summary["tslu_pivots"]
+    benchmark.extra_info["gepp_pivots"] = summary["gepp_pivots"]
+    attach_rows(benchmark, rows)
+    print("\n" + format_table(rows, columns=SPEC.columns,
+                              title="Figure 1: TSLU rounds and pivots"))

@@ -1,18 +1,23 @@
-"""Benchmark / regeneration of Figure 2: growth factor and minimum threshold."""
+"""Benchmark / regeneration of Figure 2: growth factor and minimum threshold.
+
+Rows come from the experiment registry (``repro.harness``).
+"""
 
 from __future__ import annotations
 
-import numpy as np
+from repro.experiments import format_table
+from repro.harness import get_spec
 
+SPEC = get_spec("figure2")
 
-from repro.experiments import figure2, format_table
+#: Reduced grid so the benchmark finishes in seconds.
+OVERRIDES = {"sizes": (128, 256, 512), "configs": ((4, 16), (8, 16), (8, 32)),
+             "samples": 1}
 
 
 def test_bench_figure2_growth_and_threshold(benchmark, attach_rows):
     rows = benchmark.pedantic(
-        lambda: figure2.run(sizes=(128, 256, 512), configs=((4, 16), (8, 16), (8, 32)), samples=1),
-        rounds=1,
-        iterations=1,
+        lambda: SPEC.run(OVERRIDES), rounds=1, iterations=1
     )
     calu_rows = [r for r in rows if r["method"] == "calu"]
     # Paper's observations: tau_min >= 0.33 (we allow margin at small n) and

@@ -3,38 +3,47 @@
 Not a table of the paper, but the experiment that justifies using Equations
 1-3 for Tables 3-7: the SPMD implementations are run on the virtual MPI at
 small sizes and their measured message counts are compared with the models'
-latency terms.
+latency terms.  Rows come from the registered ``validation`` spec, so the
+benchmark asserts on exactly what ``python -m repro run validation`` stores.
 """
 
 from __future__ import annotations
 
 import math
 
-
-from repro.experiments import format_table, validation
+from repro.experiments import format_table
+from repro.harness import get_spec
 from repro.models import pdgetf2_cost, tslu_cost
+
+SPEC = get_spec("validation")
+
+#: Panel-only spec, so the timed region excludes the factorization runs
+#: (those are what test_bench_validation_full_factorization_counts times).
+PANEL_SPEC = get_spec("panel_counts")
 
 
 def test_bench_validation_tslu_message_count(benchmark, attach_rows):
-    row = benchmark.pedantic(
-        lambda: validation.measure_panel_counts(m=256, b=8, P=8), rounds=1, iterations=1
+    rows = benchmark.pedantic(
+        lambda: PANEL_SPEC.run({"m": 256, "b": 8, "P": 8}),
+        rounds=1, iterations=1,
     )
+    row = rows[0]
     assert row["max_messages_per_rank"] == math.log2(8)
     assert row["max_messages_per_rank"] == tslu_cost(256, 8, 8).messages_col
-    benchmark.extra_info.update({k: float(v) for k, v in row.items()})
+    benchmark.extra_info.update(
+        {k: float(v) for k, v in row.items() if not isinstance(v, str)}
+    )
     print(f"\nTSLU panel (m=256, b=8, P=8): measured {row['max_messages_per_rank']} "
           f"messages/rank vs model {tslu_cost(256, 8, 8).messages_col} "
           f"(PDGETF2 model: {pdgetf2_cost(256, 8, 8).messages_col})")
 
 
 def test_bench_validation_full_factorization_counts(benchmark, attach_rows):
-    rows = benchmark.pedantic(
-        lambda: validation.measure_factorization_counts(n=64, b=8, Pr=2, Pc=2),
-        rounds=1,
-        iterations=1,
-    )
-    by_alg = {r["algorithm"]: r for r in rows}
+    rows = benchmark.pedantic(SPEC.run, rounds=1, iterations=1)
+    by_alg = {r["algorithm"]: r for r in rows if r["record"] == "factorization"}
     assert by_alg["calu"]["max_messages_per_rank"] < by_alg["pdgetrf"]["max_messages_per_rank"]
     assert by_alg["calu"]["factorization_error"] < 1e-10
     attach_rows(benchmark, rows)
-    print("\n" + format_table(rows, title="Simulator counts: CALU vs PDGETRF (n=64, b=8, 2x2)"))
+    print("\n" + format_table(
+        [r for r in rows if r["record"] == "factorization"],
+        title="Simulator counts: CALU vs PDGETRF (n=64, b=8, 2x2)"))

@@ -1,14 +1,19 @@
-"""Benchmark / regeneration of Table 1: HPL accuracy tests for ca-pivoting."""
+"""Benchmark / regeneration of Table 1: HPL accuracy tests for ca-pivoting.
+
+Rows come from the experiment registry (``repro.harness``), so this benchmark
+asserts on exactly what ``python -m repro run table1`` produces.
+"""
 
 from __future__ import annotations
 
+from repro.experiments import format_table
+from repro.harness import get_spec
 
-
-from repro.experiments import format_table, table1
+SPEC = get_spec("table1")
 
 
 def test_bench_table1_hpl_accuracy_calu(benchmark, attach_rows):
-    rows = benchmark.pedantic(table1.run, rounds=1, iterations=1)
+    rows = benchmark.pedantic(SPEC.run, rounds=1, iterations=1)
     # Every configuration must pass the HPL criterion, as in the paper.
     assert all(r["hpl_passed"] for r in rows)
     assert all(r["tau_min"] > 0.1 for r in rows)

@@ -1,14 +1,18 @@
-"""Benchmark / regeneration of Table 2: HPL accuracy tests for partial pivoting."""
+"""Benchmark / regeneration of Table 2: HPL accuracy tests for partial pivoting.
+
+Rows come from the experiment registry (``repro.harness``).
+"""
 
 from __future__ import annotations
 
+from repro.experiments import format_table
+from repro.harness import get_spec
 
-
-from repro.experiments import format_table, table2
+SPEC = get_spec("table2")
 
 
 def test_bench_table2_hpl_accuracy_gepp(benchmark, attach_rows):
-    rows = benchmark.pedantic(table2.run, rounds=1, iterations=1)
+    rows = benchmark.pedantic(SPEC.run, rounds=1, iterations=1)
     assert all(r["hpl_passed"] for r in rows)
     attach_rows(benchmark, rows)
     print("\n" + format_table(rows, columns=["n", "S", "gT", "wb", "HPL1", "HPL2", "HPL3"],

@@ -1,14 +1,18 @@
-"""Benchmark / regeneration of Table 3: PDGETF2 / TSLU time ratio on IBM POWER5."""
+"""Benchmark / regeneration of Table 3: PDGETF2 / TSLU time ratio on IBM POWER5.
+
+Rows come from the experiment registry (``repro.harness``).
+"""
 
 from __future__ import annotations
 
-
-
 from repro.experiments import format_table, panel_tables
+from repro.harness import get_spec
+
+SPEC = get_spec("table3")
 
 
 def test_bench_table3_panel_ratio_power5(benchmark, attach_rows):
-    rows = benchmark(panel_tables.run_table3)
+    rows = benchmark(SPEC.run)
     assert rows
     # Shape of the paper's Table 3: TSLU(recursive) wins clearly on large,
     # latency- or memory-bound panels...

@@ -1,14 +1,18 @@
-"""Benchmark / regeneration of Table 4: PDGETF2 / TSLU time ratio on Cray XT4."""
+"""Benchmark / regeneration of Table 4: PDGETF2 / TSLU time ratio on Cray XT4.
+
+Rows come from the experiment registry (``repro.harness``).
+"""
 
 from __future__ import annotations
 
-
-
 from repro.experiments import format_table, panel_tables
+from repro.harness import get_spec
+
+SPEC = get_spec("table4")
 
 
 def test_bench_table4_panel_ratio_xt4(benchmark, attach_rows):
-    rows = benchmark(panel_tables.run_table4)
+    rows = benchmark(SPEC.run)
     assert rows
     large = [r for r in rows if r["m"] >= 100_000]
     assert all(r["ratio_rec"] > 1.0 for r in large)

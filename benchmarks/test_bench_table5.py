@@ -1,14 +1,18 @@
-"""Benchmark / regeneration of Table 5: PDGETRF / CALU on IBM POWER5."""
+"""Benchmark / regeneration of Table 5: PDGETRF / CALU on IBM POWER5.
+
+Rows come from the experiment registry (``repro.harness``).
+"""
 
 from __future__ import annotations
 
+from repro.experiments import format_table
+from repro.harness import get_spec
 
-
-from repro.experiments import factorization_tables, format_table
+SPEC = get_spec("table5")
 
 
 def test_bench_table5_calu_vs_pdgetrf_power5(benchmark, attach_rows):
-    rows = benchmark(factorization_tables.run_table5)
+    rows = benchmark(SPEC.run)
     assert rows
     # Shape claims of the paper's Table 5: CALU never loses badly, and the
     # improvement is largest for the small matrix on many processors.

@@ -1,14 +1,18 @@
-"""Benchmark / regeneration of Table 6: PDGETRF / CALU on Cray XT4."""
+"""Benchmark / regeneration of Table 6: PDGETRF / CALU on Cray XT4.
+
+Rows come from the experiment registry (``repro.harness``).
+"""
 
 from __future__ import annotations
 
+from repro.experiments import format_table
+from repro.harness import get_spec
 
-
-from repro.experiments import factorization_tables, format_table
+SPEC = get_spec("table6")
 
 
 def test_bench_table6_calu_vs_pdgetrf_xt4(benchmark, attach_rows):
-    rows = benchmark(factorization_tables.run_table6)
+    rows = benchmark(SPEC.run)
     assert rows
     assert all(r["improvement"] > 0.9 for r in rows)
     attach_rows(benchmark, rows, keys=["m", "b", "P", "improvement", "calu_gflops"])

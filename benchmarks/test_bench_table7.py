@@ -1,14 +1,18 @@
-"""Benchmark / regeneration of Table 7: best CALU vs best PDGETRF speedups."""
+"""Benchmark / regeneration of Table 7: best CALU vs best PDGETRF speedups.
+
+Rows come from the experiment registry (``repro.harness``).
+"""
 
 from __future__ import annotations
 
+from repro.experiments import format_table
+from repro.harness import get_spec
 
-
-from repro.experiments import factorization_tables, format_table
+SPEC = get_spec("table7")
 
 
 def test_bench_table7_best_vs_best(benchmark, attach_rows):
-    rows = benchmark(factorization_tables.run_table7)
+    rows = benchmark(SPEC.run)
     assert rows
     for r in rows:
         assert r["speedup"] >= 1.0

@@ -2,7 +2,9 @@
 """Performance-model sweep: regenerate the shapes of Tables 3-7.
 
 Evaluates the paper's analytic runtime models (Equations 1-3) under the
-calibrated IBM POWER5 and Cray XT4 machine models and prints:
+calibrated IBM POWER5 and Cray XT4 machine models through the experiment
+registry (the same specs ``python -m repro run table3 ... table7`` uses) and
+prints:
 
 * Tables 3-4: the PDGETF2 / TSLU panel-factorization time ratio,
 * Tables 5-6: the PDGETRF / CALU time ratio and CALU GFLOP/s,
@@ -20,34 +22,31 @@ Run with::
 
 from __future__ import annotations
 
-from repro.experiments import factorization_tables, format_table, panel_tables
+from repro.experiments import format_table, panel_tables
 from repro.experiments.validation import measure_panel_scaling
+from repro.harness import get_spec
 from repro.machines import ibm_power5
 from repro.models import calu_cost, pdgetrf_cost
 
 
 def main() -> None:
     print("== Table 3 (model): PDGETF2 / TSLU ratio, IBM POWER5 ==")
-    rows = panel_tables.run_table3(heights=(10_000, 100_000, 1_000_000))
+    rows = get_spec("table3").run({"heights": (10_000, 100_000, 1_000_000)})
     print(format_table(rows, columns=["m", "n=b", "P", "ratio_rec", "ratio_cl"]))
     print("best:", panel_tables.best_improvement(rows))
 
     print("\n== Table 4 (model): PDGETF2 / TSLU ratio, Cray XT4 ==")
-    rows = panel_tables.run_table4(heights=(10_000, 100_000, 1_000_000))
+    rows = get_spec("table4").run({"heights": (10_000, 100_000, 1_000_000)})
     print(format_table(rows, columns=["m", "n=b", "P", "ratio_rec", "ratio_cl"]))
 
     print("\n== Table 5 (model): PDGETRF / CALU, IBM POWER5 ==")
-    rows = factorization_tables.run_table5()
-    print(format_table(rows, columns=["m", "b", "P", "grid", "improvement",
-                                      "calu_gflops", "percent_peak"]))
+    print(format_table(get_spec("table5").run(), columns=get_spec("table5").columns))
 
     print("\n== Table 6 (model): PDGETRF / CALU, Cray XT4 ==")
-    rows = factorization_tables.run_table6()
-    print(format_table(rows, columns=["m", "b", "P", "grid", "improvement",
-                                      "calu_gflops", "percent_peak"]))
+    print(format_table(get_spec("table6").run(), columns=get_spec("table6").columns))
 
     print("\n== Table 7 (model): best CALU vs best PDGETRF ==")
-    rows = factorization_tables.run_table7()
+    rows = get_spec("table7").run()
     print(format_table(rows, columns=["machine", "m", "speedup", "calu_gflops",
                                       "calu_P", "calu_b", "calu_percent_peak"]))
 

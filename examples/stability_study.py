@@ -9,8 +9,10 @@ partial pivoting (GEPP):
 * the componentwise backward error ``w_b``,
 * the three HPL accuracy residuals (all must be below 16).
 
-Defaults run in under a minute; pass larger sizes to approach the paper's
-2^10..2^13 sweep.
+The rows come from the experiment registry — the same specs the
+``python -m repro`` CLI runs (and caches); this script shows the library-side
+override API.  Defaults run in under a minute; pass larger sizes to approach
+the paper's 2^10..2^13 sweep.
 
 Run with::
 
@@ -21,7 +23,8 @@ from __future__ import annotations
 
 import sys
 
-from repro.experiments import figure2, format_table, table1, table2
+from repro.experiments import format_table
+from repro.harness import get_spec
 
 
 def main(sizes=(128, 256, 512)) -> None:
@@ -29,17 +32,19 @@ def main(sizes=(128, 256, 512)) -> None:
 
     print("== Table 1 (scaled): HPL accuracy tests for ca-pivoting ==")
     sweep = tuple((n, ((4, max(8, n // 32)), (8, max(8, n // 64)))) for n in sizes)
-    rows1 = table1.run(sweep=sweep)
+    rows1 = get_spec("table1").run({"sweep": sweep})
     print(format_table(rows1, columns=["n", "P", "b", "gT", "tau_ave", "tau_min", "wb",
                                        "HPL1", "HPL2", "HPL3", "hpl_passed"]))
 
     print("\n== Table 2 (scaled): HPL accuracy tests for partial pivoting ==")
-    rows2 = table2.run(sizes=sizes, samples=2)
+    rows2 = get_spec("table2").run({"sizes": sizes, "samples": 2})
     print(format_table(rows2, columns=["n", "S", "gT", "wb", "HPL1", "HPL2", "HPL3",
                                        "hpl_passed"]))
 
     print("\n== Figure 2 (scaled): growth factor and minimum threshold ==")
-    rows3 = figure2.run(sizes=sizes, configs=((4, 16), (8, 16)), samples=1)
+    rows3 = get_spec("figure2").run(
+        {"sizes": sizes, "configs": ((4, 16), (8, 16)), "samples": 1}
+    )
     print(format_table(rows3, columns=["n", "P", "b", "method", "gT", "n_two_thirds",
                                        "tau_min", "tau_ave"]))
     print("\nExpected shape: gT tracks ~1-2x n^(2/3); tau_min stays well above 0.33"

@@ -1,10 +1,28 @@
-"""Legacy setup shim.
+"""Packaging for the CALU reproduction.
 
-Kept so that ``pip install -e .`` works in offline environments whose
-setuptools lacks PEP 660 editable-wheel support (no ``wheel`` package).  All
-metadata lives in ``pyproject.toml``.
+Classic ``setup.py`` metadata (no ``pyproject.toml``) so that
+``pip install -e .`` works in offline environments whose setuptools lacks
+PEP 660 editable-wheel support.  The ``repro`` console script is the same
+entry point as ``python -m repro``.
 """
 
-from setuptools import setup
+from setuptools import find_packages, setup
 
-setup()
+setup(
+    name="repro-calu",
+    version="0.3.0",
+    description=(
+        "Reproduction of 'Communication-avoiding Gaussian elimination' "
+        "(SC 2008): CALU, TSLU, simulated ScaLAPACK baselines, analytic "
+        "models, and a registry-driven experiment harness."
+    ),
+    package_dir={"": "src"},
+    packages=find_packages("src"),
+    python_requires=">=3.9",
+    install_requires=["numpy", "scipy"],
+    entry_points={
+        "console_scripts": [
+            "repro=repro.harness.cli:main",
+        ]
+    },
+)

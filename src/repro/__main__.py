@@ -1,0 +1,8 @@
+"""``python -m repro`` — entry point for the experiment-registry CLI."""
+
+import sys
+
+from .harness.cli import main
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,19 +1,27 @@
-"""Experiment harness: one module per table/figure of the paper's evaluation.
+"""Experiment harness: registered specs, one per table/figure of the paper.
 
-============  ======================================================
-Experiment    Module / entry point
-============  ======================================================
-Figure 1      :func:`repro.experiments.figure1.run`
-Figure 2      :func:`repro.experiments.figure2.run`
-Table 1       :func:`repro.experiments.table1.run`
-Table 2       :func:`repro.experiments.table2.run`
-Table 3       :func:`repro.experiments.panel_tables.run_table3`
-Table 4       :func:`repro.experiments.panel_tables.run_table4`
-Table 5       :func:`repro.experiments.factorization_tables.run_table5`
-Table 6       :func:`repro.experiments.factorization_tables.run_table6`
-Table 7       :func:`repro.experiments.factorization_tables.run_table7`
-Validation    :mod:`repro.experiments.validation`
-============  ======================================================
+Importing this package registers every built-in experiment into the
+:mod:`repro.harness` registry (the CLI and benchmarks do this implicitly via
+:func:`repro.harness.load_builtin_specs`).
+
+============  ==============  ========================================
+Experiment    Spec name       Module / direct entry point
+============  ==============  ========================================
+Figure 1      ``figure1``     :func:`repro.experiments.figure1.run`
+Figure 2      ``figure2``     :func:`repro.experiments.figure2.run`
+Table 1       ``table1``      :func:`repro.experiments.table1.run`
+Table 2       ``table2``      :func:`repro.experiments.table2.run`
+Table 3       ``table3``      :func:`repro.experiments.panel_tables.run_table3`
+Table 4       ``table4``      :func:`repro.experiments.panel_tables.run_table4`
+Table 5       ``table5``      :func:`repro.experiments.factorization_tables.run_table5`
+Table 6       ``table6``      :func:`repro.experiments.factorization_tables.run_table6`
+Table 7       ``table7``      :func:`repro.experiments.factorization_tables.run_table7`
+Validation    ``validation``  :func:`repro.experiments.validation.run`
+============  ==============  ========================================
+
+Beyond the paper's grids, :mod:`repro.experiments.scenarios` registers
+sweepable single-point specs (``stability``, ``panel``, ``factorization``,
+``panel_counts``) for ``python -m repro sweep``.
 """
 
 from . import (
@@ -21,11 +29,18 @@ from . import (
     figure1,
     figure2,
     panel_tables,
+    runners,
+    scenarios,
     table1,
     table2,
     validation,
 )
-from .report import format_table, rows_to_csv
+from .report import (
+    format_table,
+    rows_from_json,
+    rows_to_csv,
+    rows_to_json,
+)
 
 __all__ = [
     "figure1",
@@ -34,7 +49,11 @@ __all__ = [
     "table2",
     "panel_tables",
     "factorization_tables",
+    "runners",
+    "scenarios",
     "validation",
     "format_table",
+    "rows_from_json",
     "rows_to_csv",
+    "rows_to_json",
 ]

@@ -9,77 +9,101 @@ best-PDGETRF speedup when both algorithms are allowed to pick their own best
 The rows are produced by the analytic models (Equations 2 and 3) under the
 calibrated machine models; a validation benchmark checks the models against
 the simulator's measured message counts at small sizes.
+
+Thin registered specs over :mod:`repro.experiments.runners`
+(``table5`` = IBM POWER5, ``table6`` = Cray XT4, ``table7`` = best vs best).
 """
 
 from __future__ import annotations
 
-from typing import Dict, List, Sequence, Tuple
+from typing import Dict, List, Sequence, Union
 
+from ..harness import ExperimentSpec, register
 from ..machines.model import MachineModel
-from ..machines.nersc import cray_xt4, ibm_power5
-from ..models.compare import PAPER_GRIDS, best_vs_best, compare_factorization
+from .runners import best_vs_best_sweep, factorization_sweep
 
 #: The paper's sweep (Tables 5-6).
 PAPER_ORDERS: Sequence[int] = (1_000, 5_000, 10_000)
 PAPER_BLOCKS: Sequence[int] = (50, 100, 150)
 PAPER_PROC_COUNTS: Sequence[int] = (4, 8, 16, 32, 64)
 
+#: Reduced grid used by ``--quick`` smoke runs.
+QUICK = {"orders": (1_000,), "blocks": (50,), "proc_counts": (4, 16)}
+
+#: Report columns shared by Tables 5 and 6.
+COLUMNS = ("m", "b", "P", "grid", "improvement", "calu_gflops", "percent_peak")
+
 
 def run(
-    machine: MachineModel,
+    machine: Union[str, MachineModel],
     orders: Sequence[int] = PAPER_ORDERS,
     blocks: Sequence[int] = PAPER_BLOCKS,
     proc_counts: Sequence[int] = PAPER_PROC_COUNTS,
 ) -> List[Dict[str, object]]:
     """Evaluate the PDGETRF/CALU sweep of Table 5 (POWER5) or 6 (XT4)."""
-    rows: List[Dict[str, object]] = []
-    for m in orders:
-        for b in blocks:
-            for P in proc_counts:
-                Pr, Pc = PAPER_GRIDS[P]
-                if m < Pr * b or m < Pc * b:
-                    # The paper leaves these entries blank (matrix too small).
-                    continue
-                cmp_ = compare_factorization(m, b, Pr, Pc, machine)
-                rows.append(
-                    {
-                        "m": m,
-                        "b": b,
-                        "P": P,
-                        "grid": f"{Pr}x{Pc}",
-                        "improvement": cmp_.ratio,
-                        "calu_gflops": cmp_.calu_gflops,
-                        "percent_peak": cmp_.percent_of_peak(machine),
-                        "t_calu": cmp_.t_calu,
-                        "t_pdgetrf": cmp_.t_pdgetrf,
-                    }
-                )
-    return rows
+    return factorization_sweep(machine, orders, blocks, proc_counts)
 
 
 def run_table5(**kwargs) -> List[Dict[str, object]]:
     """Table 5: PDGETRF/CALU on the IBM POWER5 model."""
-    return run(ibm_power5(), **kwargs)
+    return run(kwargs.pop("machine", "ibm_power5"), **kwargs)
 
 
 def run_table6(**kwargs) -> List[Dict[str, object]]:
     """Table 6: PDGETRF/CALU on the Cray XT4 model."""
-    return run(cray_xt4(), **kwargs)
+    return run(kwargs.pop("machine", "cray_xt4"), **kwargs)
 
 
 def run_table7(
-    machines: Dict[str, MachineModel] | None = None,
+    machines: Union[Dict[str, MachineModel], Sequence[str], None] = None,
     orders: Sequence[int] = PAPER_ORDERS,
     proc_counts: Sequence[int] = (8, 16, 32, 64),
     blocks: Sequence[int] = PAPER_BLOCKS,
 ) -> List[Dict[str, object]]:
     """Table 7: best-CALU vs best-PDGETRF speedups on both machines."""
-    machines = machines or {"ibm_power5": ibm_power5(), "cray_xt4": cray_xt4()}
-    grids: List[Tuple[int, int]] = [PAPER_GRIDS[p] for p in proc_counts]
-    rows: List[Dict[str, object]] = []
-    for name, machine in machines.items():
-        for m in orders:
-            entry = best_vs_best(m, machine, grids, blocks)
-            entry["machine"] = name
-            rows.append(entry)
-    return rows
+    machines = machines if machines is not None else ("ibm_power5", "cray_xt4")
+    return best_vs_best_sweep(machines, orders, proc_counts, blocks)
+
+
+SPEC_TABLE5 = register(
+    ExperimentSpec(
+        name="table5",
+        title="PDGETRF/CALU time ratio and GFLOP/s, IBM POWER5 (model)",
+        runner=run,
+        params={"machine": "ibm_power5", "orders": PAPER_ORDERS,
+                "blocks": PAPER_BLOCKS, "proc_counts": PAPER_PROC_COUNTS},
+        quick=QUICK,
+        columns=COLUMNS,
+        paper_ref="Table 5",
+        sweepable=("machine",),
+    )
+)
+
+SPEC_TABLE6 = register(
+    ExperimentSpec(
+        name="table6",
+        title="PDGETRF/CALU time ratio and GFLOP/s, Cray XT4 (model)",
+        runner=run,
+        params={"machine": "cray_xt4", "orders": PAPER_ORDERS,
+                "blocks": PAPER_BLOCKS, "proc_counts": PAPER_PROC_COUNTS},
+        quick=QUICK,
+        columns=COLUMNS,
+        paper_ref="Table 6",
+        sweepable=("machine",),
+    )
+)
+
+SPEC_TABLE7 = register(
+    ExperimentSpec(
+        name="table7",
+        title="Best-CALU vs best-PDGETRF speedups, both machines (model)",
+        runner=run_table7,
+        params={"machines": ("ibm_power5", "cray_xt4"), "orders": PAPER_ORDERS,
+                "proc_counts": (8, 16, 32, 64), "blocks": PAPER_BLOCKS},
+        quick={"orders": (1_000,), "proc_counts": (16, 64), "blocks": (50, 100)},
+        columns=("machine", "m", "speedup", "calu_gflops", "calu_P", "calu_b",
+                 "calu_percent_peak", "pdgetrf_gflops"),
+        paper_ref="Table 7",
+        sweepable=("machines",),
+    )
+)

@@ -7,24 +7,27 @@ pivoting) and the minimum pivot threshold (right plot — always above 0.33).
 
 ``run`` regenerates both series.  Default sizes are reduced (2^8..2^10) so
 the experiment completes in seconds in pure Python; pass ``sizes=(1024, 2048,
-4096, 8192)`` to match the paper exactly (minutes of runtime).
+4096, 8192)`` to match the paper exactly (minutes of runtime).  Thin
+registered spec over
+:func:`repro.experiments.runners.growth_threshold_series` (``figure2``).
 """
 
 from __future__ import annotations
 
 from typing import Dict, List, Sequence, Tuple
 
-import numpy as np
-
-from ..randmat.generators import randn
-from ..stability.report import stability_row_calu, stability_row_gepp
+from ..harness import ExperimentSpec, register
+from .runners import growth_threshold_series
 
 #: (P, b) combinations of the paper's Figure 2, scaled for small default sizes.
 DEFAULT_CONFIGS: Sequence[Tuple[int, int]] = ((4, 16), (4, 32), (8, 16), (8, 32), (16, 16))
 
+#: Default matrix orders (scaled down from the paper's 2^10..2^13).
+DEFAULT_SIZES: Sequence[int] = (256, 512, 1024)
+
 
 def run(
-    sizes: Sequence[int] = (256, 512, 1024),
+    sizes: Sequence[int] = DEFAULT_SIZES,
     configs: Sequence[Tuple[int, int]] = DEFAULT_CONFIGS,
     samples: int = 2,
     include_gepp: bool = True,
@@ -52,46 +55,19 @@ def run(
         One row per (n, P, b) with averaged ``gT``, ``tau_min``, ``tau_ave``
         and the ``n^(2/3)`` reference.
     """
-    rows: List[Dict[str, object]] = []
-    for n in sizes:
-        for P, b in configs:
-            if b >= n or P * b > n:
-                continue
-            gts, tmins, taves = [], [], []
-            for s in range(samples):
-                A = randn(n, seed=seed + 1000 * s + n)
-                row = stability_row_calu(A, P=P, b=b)
-                gts.append(row.growth)
-                tmins.append(row.tau_min)
-                taves.append(row.tau_ave)
-            rows.append(
-                {
-                    "n": n,
-                    "P": P,
-                    "b": b,
-                    "method": "calu",
-                    "gT": float(np.mean(gts)),
-                    "tau_min": float(np.min(tmins)),
-                    "tau_ave": float(np.mean(taves)),
-                    "n_two_thirds": float(n) ** (2.0 / 3.0),
-                }
-            )
-        if include_gepp:
-            gts = []
-            for s in range(samples):
-                A = randn(n, seed=seed + 1000 * s + n)
-                row = stability_row_gepp(A)
-                gts.append(row.growth)
-            rows.append(
-                {
-                    "n": n,
-                    "P": 1,
-                    "b": n,
-                    "method": "gepp",
-                    "gT": float(np.mean(gts)),
-                    "tau_min": 1.0,
-                    "tau_ave": 1.0,
-                    "n_two_thirds": float(n) ** (2.0 / 3.0),
-                }
-            )
-    return rows
+    return growth_threshold_series(sizes, configs, samples, include_gepp, seed=seed)
+
+
+SPEC = register(
+    ExperimentSpec(
+        name="figure2",
+        title="Growth factor g_T and pivot thresholds vs matrix size",
+        runner=run,
+        params={"sizes": DEFAULT_SIZES, "configs": DEFAULT_CONFIGS,
+                "samples": 2, "include_gepp": True, "seed": 0},
+        quick={"sizes": (64, 128), "configs": ((2, 8), (4, 8)), "samples": 1},
+        columns=("n", "P", "b", "method", "gT", "n_two_thirds", "tau_min", "tau_ave"),
+        paper_ref="Figure 2",
+        sweepable=("samples", "seed"),
+    )
+)

@@ -12,24 +12,33 @@ panels directly, but the model captures the two effects the paper identifies:
 the ``b x`` latency reduction and the local-kernel speedup.  A separate
 validation benchmark checks the models' message counts against the simulator
 on small panels.
+
+Thin registered specs over :func:`repro.experiments.runners.panel_ratio_sweep`
+(``table3`` = IBM POWER5, ``table4`` = Cray XT4).
 """
 
 from __future__ import annotations
 
-from typing import Dict, List, Sequence
+from typing import Dict, List, Sequence, Union
 
+from ..harness import ExperimentSpec, register
 from ..machines.model import MachineModel
-from ..machines.nersc import cray_xt4, ibm_power5
-from ..models.compare import compare_panel
+from .runners import panel_ratio_sweep
 
 #: The paper's sweep (Tables 3-4).
 PAPER_HEIGHTS: Sequence[int] = (1_000, 5_000, 10_000, 100_000, 1_000_000)
 PAPER_WIDTHS: Sequence[int] = (50, 100, 150)
 PAPER_PROCS: Sequence[int] = (4, 8, 16, 32, 64)
 
+#: Reduced grid used by ``--quick`` smoke runs.
+QUICK = {"heights": (10_000, 100_000), "widths": (50,), "procs": (4, 16)}
+
+#: Report columns shared by Tables 3 and 4.
+COLUMNS = ("m", "n=b", "P", "ratio_rec", "ratio_cl", "tslu_gflops_rec")
+
 
 def run(
-    machine: MachineModel,
+    machine: Union[str, MachineModel],
     heights: Sequence[int] = PAPER_HEIGHTS,
     widths: Sequence[int] = PAPER_WIDTHS,
     procs: Sequence[int] = PAPER_PROCS,
@@ -41,37 +50,17 @@ def run(
     the process count (fewer rows than ``P * b``) are skipped, mirroring the
     missing entries of the paper's tables.
     """
-    rows: List[Dict[str, object]] = []
-    for m in heights:
-        for b in widths:
-            for P in procs:
-                if m < P * b:
-                    continue
-                rec = compare_panel(m, b, P, machine, local_kernel="rgetf2")
-                cla = compare_panel(m, b, P, machine, local_kernel="getf2")
-                rows.append(
-                    {
-                        "m": m,
-                        "n=b": b,
-                        "P": P,
-                        "ratio_rec": rec.ratio,
-                        "ratio_cl": cla.ratio,
-                        "tslu_gflops_rec": rec.tslu_gflops,
-                        "t_tslu_rec": rec.t_tslu,
-                        "t_pdgetf2": rec.t_pdgetf2,
-                    }
-                )
-    return rows
+    return panel_ratio_sweep(machine, heights, widths, procs)
 
 
 def run_table3(**kwargs) -> List[Dict[str, object]]:
     """Table 3: PDGETF2/TSLU ratios on the IBM POWER5 model."""
-    return run(ibm_power5(), **kwargs)
+    return run(kwargs.pop("machine", "ibm_power5"), **kwargs)
 
 
 def run_table4(**kwargs) -> List[Dict[str, object]]:
     """Table 4: PDGETF2/TSLU ratios on the Cray XT4 model."""
-    return run(cray_xt4(), **kwargs)
+    return run(kwargs.pop("machine", "cray_xt4"), **kwargs)
 
 
 def best_improvement(rows: Sequence[Dict[str, object]]) -> Dict[str, object]:
@@ -83,3 +72,32 @@ def best_improvement(rows: Sequence[Dict[str, object]]) -> Dict[str, object]:
         "P": best["P"],
         "best_ratio": max(best["ratio_rec"], best["ratio_cl"]),
     }
+
+
+SPEC_TABLE3 = register(
+    ExperimentSpec(
+        name="table3",
+        title="PDGETF2/TSLU panel time ratios, IBM POWER5 (model)",
+        runner=run,
+        params={"machine": "ibm_power5", "heights": PAPER_HEIGHTS,
+                "widths": PAPER_WIDTHS, "procs": PAPER_PROCS},
+        quick=QUICK,
+        columns=COLUMNS,
+        paper_ref="Table 3",
+        sweepable=("machine",),
+    )
+)
+
+SPEC_TABLE4 = register(
+    ExperimentSpec(
+        name="table4",
+        title="PDGETF2/TSLU panel time ratios, Cray XT4 (model)",
+        runner=run,
+        params={"machine": "cray_xt4", "heights": PAPER_HEIGHTS,
+                "widths": PAPER_WIDTHS, "procs": PAPER_PROCS},
+        quick=QUICK,
+        columns=COLUMNS,
+        paper_ref="Table 4",
+        sweepable=("machine",),
+    )
+)

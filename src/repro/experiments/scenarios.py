@@ -1,0 +1,81 @@
+"""Sweepable single-point scenario specs — beyond the paper's fixed grids.
+
+The paper's tables pin specific (n, P, b) grids; these specs expose the same
+underlying measurements as *single points* so that ``repro sweep`` can build
+arbitrary grids over them, e.g.::
+
+    python -m repro sweep stability --param P=4,16,64 --param b=8,32
+    python -m repro sweep panel --param m=10000,100000 --param P=16,64
+    python -m repro sweep panel_counts --param P=2,4,8 --set engine=event
+
+Each scenario returns one (or a few) rows per parameter combination; the
+sweep executor expands the cartesian product, runs the jobs concurrently and
+caches every point in the content-addressed store, so refining a sweep only
+computes the new points.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from ..harness import ExperimentSpec, register
+from .runners import factorization_point, panel_point, stability_point
+from .validation import DEFAULT_ENGINE, measure_panel_counts
+
+
+def panel_counts(
+    m: int = 128, b: int = 8, P: int = 4, engine: str = DEFAULT_ENGINE
+) -> List[Dict[str, object]]:
+    """Measured TSLU panel message counts on the simulator (one row)."""
+    return [measure_panel_counts(m=m, b=b, P=P, engine=engine)]
+
+
+SPEC_STABILITY = register(
+    ExperimentSpec(
+        name="stability",
+        title="Stability point: growth/thresholds/HPL at one (n, P, b)",
+        runner=stability_point,
+        params={"n": 256, "P": 8, "b": 16, "seed": 0, "method": "calu"},
+        quick={"n": 64, "P": 2, "b": 8},
+        columns=("n", "P", "b", "gT", "tau_ave", "tau_min", "wb",
+                 "HPL1", "HPL2", "HPL3", "hpl_passed", "seed"),
+        sweepable=("n", "P", "b", "seed", "method"),
+    )
+)
+
+SPEC_PANEL = register(
+    ExperimentSpec(
+        name="panel",
+        title="Panel-model point: PDGETF2/TSLU ratio at one (m, b, P, machine)",
+        runner=panel_point,
+        params={"m": 100_000, "b": 50, "P": 16, "machine": "ibm_power5"},
+        quick={"m": 10_000},
+        columns=("m", "n=b", "P", "ratio_rec", "ratio_cl", "tslu_gflops_rec"),
+        sweepable=("m", "b", "P", "machine"),
+    )
+)
+
+SPEC_FACTORIZATION = register(
+    ExperimentSpec(
+        name="factorization",
+        title="Factorization-model point: PDGETRF/CALU at one (m, b, P, machine)",
+        runner=factorization_point,
+        params={"m": 1_000, "b": 50, "P": 16, "machine": "ibm_power5"},
+        quick={},
+        columns=("m", "b", "P", "grid", "improvement", "calu_gflops", "percent_peak"),
+        sweepable=("m", "b", "P", "machine"),
+    )
+)
+
+SPEC_PANEL_COUNTS = register(
+    ExperimentSpec(
+        name="panel_counts",
+        title="Simulator point: measured TSLU panel message counts",
+        runner=panel_counts,
+        params={"m": 128, "b": 8, "P": 4, "engine": DEFAULT_ENGINE},
+        quick={"m": 64, "b": 4},
+        columns=("m", "b", "P", "max_messages_per_rank", "expected_log2P",
+                 "max_words_per_rank"),
+        sweepable=("m", "b", "P", "engine"),
+    )
+)

@@ -6,15 +6,17 @@ the componentwise backward error ``w_b`` before refinement, and the three HPL
 residuals — all of which must pass the HPL criterion (< 16).
 
 Default sizes are reduced to 2^8..2^10 so the sweep runs in seconds; the
-original sizes can be requested explicitly.
+original sizes can be requested explicitly.  The module is a thin registered
+spec over :func:`repro.experiments.runners.calu_stability_sweep`; address it
+as ``table1`` through the registry / ``python -m repro run table1``.
 """
 
 from __future__ import annotations
 
 from typing import Dict, List, Sequence, Tuple
 
-from ..randmat.generators import randn
-from ..stability.report import stability_row_calu
+from ..harness import ExperimentSpec, register
+from .runners import calu_stability_sweep
 
 #: Default (n, P, b) sweep — a scaled version of the paper's Table 1 grid.
 DEFAULT_SWEEP: Sequence[Tuple[int, Sequence[Tuple[int, int]]]] = (
@@ -31,20 +33,31 @@ PAPER_SWEEP: Sequence[Tuple[int, Sequence[Tuple[int, int]]]] = (
     (1024, ((64, 16),)),
 )
 
+#: Tiny sweep used by ``--quick`` smoke runs.
+QUICK_SWEEP: Sequence[Tuple[int, Sequence[Tuple[int, int]]]] = (
+    (64, ((2, 8), (4, 8))),
+    (128, ((4, 16),)),
+)
+
 
 def run(
     sweep: Sequence[Tuple[int, Sequence[Tuple[int, int]]]] = DEFAULT_SWEEP,
     seed: int = 0,
 ) -> List[Dict[str, object]]:
     """Run the CALU stability sweep; returns one dict per (n, P, b) row."""
-    rows: List[Dict[str, object]] = []
-    for n, configs in sweep:
-        A = randn(n, seed=seed + n)
-        for P, b in configs:
-            if b >= n or P * b > n:
-                continue
-            row = stability_row_calu(A, P=P, b=b)
-            d = row.as_dict()
-            d["hpl_passed"] = row.residuals.passed
-            rows.append(d)
-    return rows
+    return calu_stability_sweep(sweep, seed=seed)
+
+
+SPEC = register(
+    ExperimentSpec(
+        name="table1",
+        title="HPL accuracy tests for ca-pivoting (CALU)",
+        runner=run,
+        params={"sweep": DEFAULT_SWEEP, "seed": 0},
+        quick={"sweep": QUICK_SWEEP},
+        columns=("n", "P", "b", "gT", "tau_ave", "tau_min", "wb",
+                 "HPL1", "HPL2", "HPL3", "hpl_passed"),
+        paper_ref="Table 1",
+        sweepable=("seed",),
+    )
+)

@@ -2,17 +2,16 @@
 
 Same metrics as Table 1, computed with Gaussian elimination with partial
 pivoting, averaged over a small number of samples per size.  CALU's values
-(Table 1) should be of the same order of magnitude.
+(Table 1) should be of the same order of magnitude.  Thin registered spec
+over :func:`repro.experiments.runners.gepp_stability_rows` (``table2``).
 """
 
 from __future__ import annotations
 
 from typing import Dict, List, Sequence
 
-import numpy as np
-
-from ..randmat.generators import randn
-from ..stability.report import stability_row_gepp
+from ..harness import ExperimentSpec, register
+from .runners import gepp_stability_rows
 
 #: Default matrix orders (scaled down from the paper's 2^10..2^13).
 DEFAULT_SIZES: Sequence[int] = (256, 512, 1024)
@@ -27,23 +26,18 @@ def run(
     seed: int = 0,
 ) -> List[Dict[str, object]]:
     """Run the GEPP stability sweep; one averaged row per matrix order."""
-    rows: List[Dict[str, object]] = []
-    for n in sizes:
-        collected = []
-        for s in range(samples):
-            A = randn(n, seed=seed + 7919 * s + n)
-            collected.append(stability_row_gepp(A))
-        rows.append(
-            {
-                "n": n,
-                "S": samples,
-                "method": "gepp",
-                "gT": float(np.mean([r.growth for r in collected])),
-                "wb": float(np.mean([r.wb for r in collected])),
-                "HPL1": float(np.mean([r.residuals.hpl1 for r in collected])),
-                "HPL2": float(np.mean([r.residuals.hpl2 for r in collected])),
-                "HPL3": float(np.mean([r.residuals.hpl3 for r in collected])),
-                "hpl_passed": all(r.residuals.passed for r in collected),
-            }
-        )
-    return rows
+    return gepp_stability_rows(sizes, samples, seed=seed)
+
+
+SPEC = register(
+    ExperimentSpec(
+        name="table2",
+        title="HPL accuracy tests for partial pivoting (GEPP)",
+        runner=run,
+        params={"sizes": DEFAULT_SIZES, "samples": DEFAULT_SAMPLES, "seed": 0},
+        quick={"sizes": (64, 128), "samples": 1},
+        columns=("n", "S", "gT", "wb", "HPL1", "HPL2", "HPL3", "hpl_passed"),
+        paper_ref="Table 2",
+        sweepable=("samples", "seed"),
+    )
+)

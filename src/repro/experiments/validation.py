@@ -23,6 +23,7 @@ from typing import Dict, List, Sequence
 
 import numpy as np
 
+from ..harness import ExperimentSpec, register
 from ..layouts.grid import ProcessGrid
 from ..machines.model import unit_machine
 from ..parallel.pcalu import pcalu
@@ -97,3 +98,49 @@ def measure_factorization_counts(
             }
         )
     return rows
+
+
+def run(
+    panel_m: int = 128,
+    panel_b: int = 8,
+    panel_P: int = 4,
+    fact_n: int = 64,
+    fact_b: int = 8,
+    fact_Pr: int = 2,
+    fact_Pc: int = 2,
+    engine: str = DEFAULT_ENGINE,
+) -> List[Dict[str, object]]:
+    """Registry runner: panel + factorization measurements in one row set.
+
+    The ``record`` column distinguishes the TSLU panel measurement (one row)
+    from the CALU-vs-PDGETRF factorization measurements (one row per
+    algorithm).
+    """
+    rows: List[Dict[str, object]] = [
+        {"record": "tslu_panel",
+         **measure_panel_counts(m=panel_m, b=panel_b, P=panel_P, engine=engine)}
+    ]
+    for row in measure_factorization_counts(
+        n=fact_n, b=fact_b, Pr=fact_Pr, Pc=fact_Pc, engine=engine
+    ):
+        rows.append({"record": "factorization", **row})
+    return rows
+
+
+SPEC = register(
+    ExperimentSpec(
+        name="validation",
+        title="Model-vs-simulator validation: measured message counts",
+        runner=run,
+        params={"panel_m": 128, "panel_b": 8, "panel_P": 4,
+                "fact_n": 64, "fact_b": 8, "fact_Pr": 2, "fact_Pc": 2,
+                "engine": DEFAULT_ENGINE},
+        quick={"panel_m": 64, "panel_b": 4, "fact_n": 32},
+        columns=("record", "algorithm", "m", "n", "b", "P", "grid",
+                 "max_messages_per_rank", "expected_log2P", "total_messages",
+                 "total_words", "max_words_per_rank", "critical_path_steps",
+                 "factorization_error"),
+        paper_ref="Section 5 (model validation)",
+        sweepable=("panel_P", "panel_b", "engine"),
+    )
+)

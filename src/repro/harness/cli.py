@@ -1,0 +1,311 @@
+"""``python -m repro`` — the command-line front end of the experiment registry.
+
+Subcommands
+-----------
+``repro list``
+    Show every registered spec: name, paper reference, parameters, cached
+    artifact count.
+``repro run SPEC [SPEC ...]``
+    Run specs through the content-addressed cache (``--force`` recomputes,
+    ``--no-cache`` bypasses the store) and print the rows.
+``repro sweep SPEC --param P=4,16,64 --param b=8,32``
+    Expand a parameter grid and run the combinations concurrently.
+``repro report [SPEC ...]``
+    Render cached artifacts without re-running anything.
+
+Global knobs: ``--engine`` (virtual-MPI engine), ``--tier`` (kernel tier),
+``--results-dir`` (artifact store root, also ``REPRO_RESULTS_DIR``),
+``--format text|csv|json|markdown``, ``--quick`` (scaled-down sizes).
+"""
+
+from __future__ import annotations
+
+import argparse
+import ast
+import os
+import sys
+from typing import Dict, List, Optional, Sequence
+
+from ..experiments.report import format_table, rows_to_csv, rows_to_json
+from .spec import ExperimentSpec, all_specs, get_spec
+from .store import FetchResult, ResultStore
+from .sweep import SweepJob, run_sweep
+
+FORMATS = ("text", "csv", "json", "markdown")
+
+
+def _parse_value(text: str) -> object:
+    """Parse a CLI parameter value: Python literal when possible, else str."""
+    try:
+        return ast.literal_eval(text)
+    except (ValueError, SyntaxError):
+        return text
+
+
+def _parse_set(items: Optional[Sequence[str]]) -> Dict[str, object]:
+    """Parse repeated ``--set key=value`` overrides."""
+    overrides: Dict[str, object] = {}
+    for item in items or ():
+        key, sep, value = item.partition("=")
+        if not sep or not key:
+            raise SystemExit(f"error: --set expects key=value, got {item!r}")
+        overrides[key] = _parse_value(value)
+    return overrides
+
+
+def _parse_grid(items: Optional[Sequence[str]]) -> Dict[str, List[object]]:
+    """Parse repeated ``--param key=v1,v2,...`` sweep axes."""
+    grid: Dict[str, List[object]] = {}
+    for item in items or ():
+        key, sep, values = item.partition("=")
+        if not sep or not key or not values:
+            raise SystemExit(f"error: --param expects key=v1,v2,..., got {item!r}")
+        grid[key] = [_parse_value(v) for v in values.split(",")]
+    return grid
+
+
+def _apply_context(args: argparse.Namespace) -> None:
+    """Apply --engine / --tier process-wide so every runner sees them."""
+    if getattr(args, "engine", None):
+        os.environ["REPRO_VMPI_ENGINE"] = args.engine
+    if getattr(args, "tier", None):
+        from ..kernels.tiers import set_kernel_tier
+
+        set_kernel_tier(args.tier)
+
+
+def _with_engine(
+    spec: ExperimentSpec, overrides: Dict[str, object], args: argparse.Namespace
+) -> Dict[str, object]:
+    """Inject --engine into specs that take ``engine`` as a parameter.
+
+    Such runners use their parameter, not the ambient ``REPRO_VMPI_ENGINE``,
+    so the flag must flow in as an override to take precedence (an explicit
+    ``--set engine=...`` still wins).
+    """
+    engine = getattr(args, "engine", None)
+    if engine and "engine" in spec.params and "engine" not in overrides:
+        return {**overrides, "engine": engine}
+    return overrides
+
+
+def _store(args: argparse.Namespace) -> ResultStore:
+    return ResultStore(root=getattr(args, "results_dir", None))
+
+
+def _emit(
+    rows: List[Dict[str, object]],
+    args: argparse.Namespace,
+    columns: Optional[Sequence[str]] = None,
+    metadata: Optional[Dict[str, object]] = None,
+    title: Optional[str] = None,
+) -> None:
+    fmt = getattr(args, "format", "text")
+    if fmt == "json":
+        print(rows_to_json(rows, metadata=metadata))
+    elif fmt == "csv":
+        print(rows_to_csv(rows, columns=columns, metadata=metadata))
+    else:
+        print(
+            format_table(rows, columns=columns, title=title, markdown=(fmt == "markdown"))
+        )
+
+
+def _status_line(fetch: FetchResult, spec: ExperimentSpec) -> str:
+    source = "cache hit" if fetch.cached else f"ran in {fetch.artifact['elapsed_s']:.2f}s"
+    ref = f" [{spec.paper_ref}]" if spec.paper_ref else ""
+    return (
+        f"{spec.name}{ref}: {fetch.artifact['n_rows']} rows ({source}; "
+        f"tier={fetch.artifact['kernel_tier']}, engine={fetch.artifact['engine']}, "
+        f"key={fetch.artifact['key'][:12]})"
+    )
+
+
+def _artifact_metadata(artifact: Dict[str, object]) -> Dict[str, object]:
+    return {k: artifact[k] for k in artifact if k != "rows"}
+
+
+# ------------------------------------------------------------------- commands
+def cmd_list(args: argparse.Namespace) -> int:
+    store = _store(args)
+    rows = []
+    for spec in all_specs():
+        rows.append(
+            {
+                "name": spec.name,
+                "paper": spec.paper_ref or "-",
+                "params": " ".join(sorted(spec.params)) or "-",
+                "sweep axes": " ".join(spec.sweepable) or "-",
+                "cached": store.count(spec.name),
+                "title": spec.title,
+            }
+        )
+    _emit(rows, args, title=None)
+    return 0
+
+
+def cmd_run(args: argparse.Namespace) -> int:
+    _apply_context(args)
+    store = _store(args)
+    overrides = _parse_set(args.set)
+    failures = 0
+    for name in args.specs:
+        try:
+            spec = get_spec(name)
+            fetch = store.fetch_or_run(
+                spec,
+                _with_engine(spec, overrides, args) or None,
+                quick=args.quick,
+                force=args.force,
+                use_cache=not args.no_cache,
+            )
+        except Exception as exc:  # keep going: report per-spec failures at exit
+            print(f"{name}: FAILED ({exc})", file=sys.stderr)
+            failures += 1
+            continue
+        print(_status_line(fetch, spec), file=sys.stderr)
+        _emit(
+            fetch.rows,
+            args,
+            columns=spec.columns,
+            metadata=_artifact_metadata(fetch.artifact),
+            title=spec.title,
+        )
+    return 1 if failures else 0
+
+
+def cmd_sweep(args: argparse.Namespace) -> int:
+    _apply_context(args)
+    store = _store(args)
+    spec = get_spec(args.spec)
+    grid = _parse_grid(args.param)
+    if not grid:
+        raise SystemExit("error: sweep requires at least one --param axis")
+    base = _parse_set(args.set)
+    if "engine" not in grid:
+        base = _with_engine(spec, base, args)
+
+    def progress(job: SweepJob) -> None:
+        state = "cached" if job.cached else (
+            f"failed: {job.error}" if job.error else f"ran in {job.elapsed_s:.2f}s"
+        )
+        detail = " ".join(f"{k}={v}" for k, v in job.overrides.items())
+        print(f"[{job.index + 1}/{job.total}] {spec.name} {detail}: {state}",
+              file=sys.stderr)
+
+    result = run_sweep(
+        spec,
+        grid,
+        base=base or None,
+        store=store,
+        jobs=args.jobs,
+        quick=args.quick,
+        force=args.force,
+        use_cache=not args.no_cache,
+        progress=progress,
+    )
+    print(
+        f"sweep {spec.name}: {len(result.jobs)} jobs, {result.hits} cache hits, "
+        f"{result.misses} computed, peak parallelism {result.max_in_flight}, "
+        f"{result.elapsed_s:.2f}s",
+        file=sys.stderr,
+    )
+    for job in result.errors:
+        print(f"  failed {job.overrides}: {job.error}", file=sys.stderr)
+    _emit(
+        result.rows(),
+        args,
+        metadata={"spec": spec.name, "grid": grid, "base": base},
+        title=f"sweep: {spec.title}",
+    )
+    return 1 if result.errors else 0
+
+
+def cmd_report(args: argparse.Namespace) -> int:
+    store = _store(args)
+    names = args.specs or [None]
+    artifacts: List[Dict[str, object]] = []
+    for name in names:
+        artifacts.extend(store.artifacts(name))
+    if not artifacts:
+        print("no cached artifacts found; run `repro run <spec>` first",
+              file=sys.stderr)
+        return 1
+    if args.format == "json":
+        print(rows_to_json(
+            [_artifact_metadata(a) | {"rows": a["rows"]} for a in artifacts],
+            metadata={"store": str(store.root), "artifacts": len(artifacts)},
+        ))
+        return 0
+    for artifact in artifacts:
+        columns = artifact.get("columns")
+        title = (
+            f"{artifact['spec']} ({artifact.get('paper_ref') or 'scenario'}; "
+            f"tier={artifact['kernel_tier']}, engine={artifact['engine']}, "
+            f"key={artifact['key'][:12]}, {artifact['created_at']})"
+        )
+        _emit(artifact["rows"], args, columns=columns, title=title)
+        print()
+    return 0
+
+
+# --------------------------------------------------------------------- parser
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Registry-driven reproduction of the paper's tables and figures.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def add_common(p: argparse.ArgumentParser, cache: bool = True) -> None:
+        p.add_argument("--format", choices=FORMATS, default="text",
+                       help="output format (default: text)")
+        p.add_argument("--results-dir", default=None,
+                       help="artifact store root (default: $REPRO_RESULTS_DIR or results/)")
+        if cache:
+            p.add_argument("--engine", default=None,
+                           help="virtual-MPI engine (event|threaded)")
+            p.add_argument("--tier", default=None,
+                           help="kernel tier (auto|reference|lapack)")
+            p.add_argument("--quick", action="store_true",
+                           help="scaled-down sizes for smoke runs")
+            p.add_argument("--force", action="store_true",
+                           help="recompute even on a cache hit")
+            p.add_argument("--no-cache", action="store_true",
+                           help="bypass the result store entirely")
+            p.add_argument("--set", action="append", metavar="KEY=VALUE",
+                           help="override one spec parameter (repeatable)")
+
+    p_list = sub.add_parser("list", help="show registered experiment specs")
+    add_common(p_list, cache=False)
+    p_list.set_defaults(fn=cmd_list)
+
+    p_run = sub.add_parser("run", help="run one or more specs (cached)")
+    p_run.add_argument("specs", nargs="+", metavar="SPEC")
+    add_common(p_run)
+    p_run.set_defaults(fn=cmd_run)
+
+    p_sweep = sub.add_parser("sweep", help="run a parameter grid concurrently")
+    p_sweep.add_argument("spec", metavar="SPEC")
+    p_sweep.add_argument("--param", action="append", metavar="KEY=V1,V2,...",
+                         help="sweep axis (repeatable; cartesian product)")
+    p_sweep.add_argument("--jobs", type=int, default=None,
+                         help="worker threads (default: min(4, #jobs))")
+    add_common(p_sweep)
+    p_sweep.set_defaults(fn=cmd_sweep)
+
+    p_report = sub.add_parser("report", help="render cached artifacts")
+    p_report.add_argument("specs", nargs="*", metavar="SPEC")
+    add_common(p_report, cache=False)
+    p_report.set_defaults(fn=cmd_report)
+
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via python -m repro
+    sys.exit(main())

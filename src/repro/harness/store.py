@@ -1,0 +1,207 @@
+"""Content-addressed result store for experiment artifacts.
+
+Each run of a registered spec is identified by the SHA-256 of its *context*:
+the spec name, the fully resolved parameters, the resolved kernel tier and
+the virtual-MPI engine.  The artifact — rows plus metadata — is written as
+JSON under ``results/<spec>/<spec>-<key12>.json`` (relocatable via the
+``REPRO_RESULTS_DIR`` environment variable or an explicit root), so a re-run
+with the same context is a cache hit that loads bit-identical rows, and
+``--force`` recomputes in place.
+
+JSON round-trips Python floats exactly (shortest-repr), so cached rows are
+bit-for-bit the rows the runner produced; the test suite enforces this.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import threading
+import time
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, Iterable, List, Mapping, Optional, Tuple
+
+from ..kernels.tiers import resolve_tier
+from .spec import ExperimentSpec, Rows, jsonify
+
+#: Environment variable relocating the artifact store (consistent with
+#: ``REPRO_KERNEL_TIER`` and ``REPRO_VMPI_ENGINE``).
+ENV_VAR = "REPRO_RESULTS_DIR"
+
+#: Default artifact directory when neither an explicit root nor the
+#: environment variable is given.
+DEFAULT_ROOT = "results"
+
+#: Artifact schema version (bumped on incompatible layout changes).
+SCHEMA_VERSION = 1
+
+
+def resolved_engine(engine: Optional[str] = None) -> str:
+    """The virtual-MPI engine name that would be used by a run right now."""
+    from ..distsim.engine import DEFAULT_ENGINE
+
+    return engine or os.environ.get("REPRO_VMPI_ENGINE") or DEFAULT_ENGINE
+
+
+def context_key(
+    spec_name: str,
+    params: Mapping[str, object],
+    kernel_tier: str,
+    engine: str,
+) -> str:
+    """SHA-256 content address of one run context (hex digest)."""
+    canonical = json.dumps(
+        {
+            "spec": spec_name,
+            "params": jsonify(dict(params)),
+            "kernel_tier": kernel_tier,
+            "engine": engine,
+        },
+        sort_keys=True,
+        separators=(",", ":"),
+    )
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+
+
+@dataclass
+class FetchResult:
+    """Outcome of :meth:`ResultStore.fetch_or_run`."""
+
+    artifact: Dict[str, object]
+    cached: bool
+    path: Path
+
+    @property
+    def rows(self) -> Rows:
+        return self.artifact["rows"]
+
+
+class ResultStore:
+    """Content-addressed JSON artifact store under a ``results/`` root."""
+
+    def __init__(self, root: Optional[os.PathLike] = None):
+        self.root = Path(root or os.environ.get(ENV_VAR) or DEFAULT_ROOT)
+
+    # ------------------------------------------------------------- addressing
+    def path_for(self, spec_name: str, key: str) -> Path:
+        return self.root / spec_name / f"{spec_name}-{key[:12]}.json"
+
+    def run_context(
+        self,
+        spec: ExperimentSpec,
+        overrides: Optional[Mapping[str, object]] = None,
+        quick: bool = False,
+        engine: Optional[str] = None,
+    ) -> Tuple[Dict[str, object], str, str, str]:
+        """Resolve (params, kernel_tier, engine, key) for one run.
+
+        Specs with an explicit ``engine`` parameter pass it straight to their
+        runner, so that value — not the ambient ``REPRO_VMPI_ENGINE``
+        resolution — is what the run actually uses and what gets keyed and
+        recorded.
+        """
+        params = spec.resolve_params(overrides, quick=quick)
+        tier = resolve_tier()
+        if "engine" in params:
+            eng = str(params["engine"])
+        else:
+            eng = resolved_engine(engine)
+        return params, tier, eng, context_key(spec.name, params, tier, eng)
+
+    # -------------------------------------------------------------- load/save
+    def load(self, path: Path) -> Optional[Dict[str, object]]:
+        """Load an artifact, or None when absent/unreadable."""
+        try:
+            with open(path, "r", encoding="utf-8") as fh:
+                artifact = json.load(fh)
+        except (OSError, ValueError):
+            return None
+        if artifact.get("schema") != SCHEMA_VERSION:
+            return None
+        return artifact
+
+    def save(self, artifact: Dict[str, object]) -> Path:
+        """Atomically write an artifact to its content address."""
+        path = self.path_for(artifact["spec"], artifact["key"])
+        path.parent.mkdir(parents=True, exist_ok=True)
+        # Unique per writer: two sweep threads may race on the same key.
+        tmp = path.with_suffix(f".tmp.{os.getpid()}.{threading.get_ident()}")
+        with open(tmp, "w", encoding="utf-8") as fh:
+            json.dump(artifact, fh, indent=1)
+            fh.write("\n")
+        os.replace(tmp, path)
+        return path
+
+    # ------------------------------------------------------------------- runs
+    def fetch_or_run(
+        self,
+        spec: ExperimentSpec,
+        overrides: Optional[Mapping[str, object]] = None,
+        quick: bool = False,
+        force: bool = False,
+        use_cache: bool = True,
+        engine: Optional[str] = None,
+    ) -> FetchResult:
+        """Serve a run from the cache, or execute it and store the artifact.
+
+        ``force`` recomputes and overwrites; ``use_cache=False`` bypasses the
+        store entirely (nothing read, nothing written).
+        """
+        params, tier, eng, key = self.run_context(
+            spec, overrides, quick=quick, engine=engine
+        )
+        path = self.path_for(spec.name, key)
+        if use_cache and not force:
+            artifact = self.load(path)
+            if artifact is not None:
+                return FetchResult(artifact=artifact, cached=True, path=path)
+
+        start = time.perf_counter()
+        rows = spec.run(overrides, quick=quick)
+        elapsed = time.perf_counter() - start
+        artifact = {
+            "schema": SCHEMA_VERSION,
+            "spec": spec.name,
+            "paper_ref": spec.paper_ref,
+            "title": spec.title,
+            "key": key,
+            "params": jsonify(params),
+            "kernel_tier": tier,
+            "engine": eng,
+            "created_at": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
+            "elapsed_s": elapsed,
+            "n_rows": len(rows),
+            "columns": list(spec.columns) if spec.columns else None,
+            "rows": rows,
+        }
+        if use_cache:
+            self.save(artifact)
+        return FetchResult(artifact=artifact, cached=False, path=path)
+
+    # -------------------------------------------------------------- reporting
+    def artifacts(self, spec_name: Optional[str] = None) -> List[Dict[str, object]]:
+        """All stored artifacts (optionally for one spec), newest first."""
+        roots: Iterable[Path]
+        if spec_name is not None:
+            roots = [self.root / spec_name]
+        elif self.root.is_dir():
+            roots = sorted(p for p in self.root.iterdir() if p.is_dir())
+        else:
+            roots = []
+        found: List[Tuple[float, Dict[str, object]]] = []
+        for directory in roots:
+            if not directory.is_dir():
+                continue
+            for path in sorted(directory.glob("*.json")):
+                artifact = self.load(path)
+                if artifact is not None:
+                    found.append((path.stat().st_mtime, artifact))
+        found.sort(key=lambda item: item[0], reverse=True)
+        return [artifact for _, artifact in found]
+
+    def count(self, spec_name: str) -> int:
+        """Number of cached artifacts for one spec."""
+        directory = self.root / spec_name
+        return len(list(directory.glob("*.json"))) if directory.is_dir() else 0

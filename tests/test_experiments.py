@@ -144,3 +144,23 @@ def test_format_table_and_csv():
     assert csv.splitlines()[0] == "a,b"
     assert format_table([], title="x").startswith("x")
     assert rows_to_csv([]) == ""
+
+
+def test_format_table_right_aligns_numeric_columns():
+    rows = [{"name": "x", "n": 7}, {"name": "longer", "n": 1024}]
+    lines = format_table(rows).splitlines()
+    # Header 'n' and both values end-aligned at the right edge of the column.
+    assert lines[0] == "name       n"
+    assert lines[2] == "x          7"
+    assert lines[3] == "longer  1024"
+
+
+def test_format_table_markdown_mode():
+    rows = [{"name": "a|b", "n": 7}, {"name": "c", "n": 1024}]
+    text = format_table(rows, title="demo", markdown=True)
+    lines = text.splitlines()
+    assert lines[0] == "**demo**"
+    assert lines[2].startswith("| name") and lines[2].endswith("n |")
+    # Numeric column gets a right-alignment marker; pipes in cells escaped.
+    assert lines[3].rstrip(" |").endswith(":")
+    assert "a\\|b" in text

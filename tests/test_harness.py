@@ -1,0 +1,351 @@
+"""Tests for the declarative experiment harness (registry, store, sweep, CLI).
+
+The contract under test:
+
+* every registered paper spec produces rows *bit-identical* to the direct
+  pre-registry ``experiments/<module>.run()`` call;
+* the content-addressed store serves repeated runs from the cache with
+  bit-identical rows, recomputes under ``--force``, and honours
+  ``REPRO_RESULTS_DIR``;
+* the sweep executor expands grids, runs jobs genuinely concurrently
+  (including through the event engine), and caches every grid point;
+* CSV/JSON serialization round-trips row sets exactly;
+* the ``python -m repro`` CLI wires all of the above together.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+
+import pytest
+
+from repro.experiments import (
+    factorization_tables,
+    figure1,
+    figure2,
+    panel_tables,
+    rows_from_json,
+    rows_to_csv,
+    rows_to_json,
+    table1,
+    table2,
+    validation,
+)
+from repro.experiments.validation import measure_panel_counts
+from repro.harness import (
+    ExperimentSpec,
+    ResultStore,
+    all_specs,
+    context_key,
+    expand_grid,
+    get_spec,
+    jsonify_rows,
+    run_sweep,
+    spec_names,
+)
+from repro.harness import spec as spec_module
+from repro.harness.cli import main as cli_main
+
+#: The ten paper specs the registry must expose.
+PAPER_SPECS = (
+    "table1", "table2", "table3", "table4", "table5", "table6", "table7",
+    "figure1", "figure2", "validation",
+)
+
+#: Direct (pre-registry) module calls at the specs' --quick sizes.
+DIRECT_QUICK_CALLS = {
+    "table1": lambda: table1.run(sweep=table1.QUICK_SWEEP),
+    "table2": lambda: table2.run(sizes=(64, 128), samples=1),
+    "table3": lambda: panel_tables.run_table3(
+        heights=(10_000, 100_000), widths=(50,), procs=(4, 16)),
+    "table4": lambda: panel_tables.run_table4(
+        heights=(10_000, 100_000), widths=(50,), procs=(4, 16)),
+    "table5": lambda: factorization_tables.run_table5(
+        orders=(1_000,), blocks=(50,), proc_counts=(4, 16)),
+    "table6": lambda: factorization_tables.run_table6(
+        orders=(1_000,), blocks=(50,), proc_counts=(4, 16)),
+    "table7": lambda: factorization_tables.run_table7(
+        orders=(1_000,), proc_counts=(16, 64), blocks=(50, 100)),
+    "figure1": lambda: figure1.to_rows(figure1.run()),
+    "figure2": lambda: figure2.run(sizes=(64, 128), configs=((2, 8), (4, 8)), samples=1),
+    "validation": lambda: validation.run(panel_m=64, panel_b=4, fact_n=32),
+}
+
+
+# ------------------------------------------------------------------- registry
+def test_registry_exposes_all_paper_specs():
+    names = spec_names()
+    for name in PAPER_SPECS:
+        assert name in names
+    # Scenario specs for sweeps beyond the paper's grids.
+    for name in ("stability", "panel", "factorization", "panel_counts"):
+        assert name in names
+
+
+def test_specs_have_paper_references_and_columns():
+    for name in PAPER_SPECS:
+        spec = get_spec(name)
+        assert spec.paper_ref
+        assert spec.columns
+        assert spec.title
+
+
+@pytest.mark.parametrize("name", PAPER_SPECS)
+def test_registry_rows_bit_identical_to_direct_module_call(name):
+    """spec.run(quick) must reproduce the pre-registry module output exactly."""
+    spec_rows = get_spec(name).run(quick=True)
+    direct_rows = jsonify_rows(DIRECT_QUICK_CALLS[name]())
+    assert spec_rows == direct_rows
+    # Bit-exact, not just approximately equal: serialize both sides.
+    assert json.dumps(spec_rows, sort_keys=True) == json.dumps(direct_rows, sort_keys=True)
+
+
+def test_unknown_spec_and_unknown_param_raise():
+    with pytest.raises(KeyError):
+        get_spec("table99")
+    with pytest.raises(KeyError):
+        get_spec("table2").resolve_params({"not_a_param": 1})
+
+
+# ---------------------------------------------------------------------- store
+def test_cache_miss_then_hit_bit_identical(tmp_path):
+    store = ResultStore(root=tmp_path)
+    spec = get_spec("table2")
+    first = store.fetch_or_run(spec, quick=True)
+    assert not first.cached
+    assert first.path.is_file()
+    second = store.fetch_or_run(spec, quick=True)
+    assert second.cached
+    assert second.rows == first.rows
+    assert json.dumps(second.rows) == json.dumps(first.rows)
+    # Metadata captured alongside the rows.
+    assert second.artifact["spec"] == "table2"
+    assert second.artifact["kernel_tier"] in ("reference", "lapack")
+    assert second.artifact["engine"]
+    assert second.artifact["n_rows"] == len(first.rows)
+
+
+def test_force_recomputes_and_no_cache_bypasses(tmp_path):
+    store = ResultStore(root=tmp_path)
+    spec = get_spec("figure1")
+    store.fetch_or_run(spec)
+    forced = store.fetch_or_run(spec, force=True)
+    assert not forced.cached
+    # use_cache=False must not read or write anything.
+    bypass_store = ResultStore(root=tmp_path / "empty")
+    result = bypass_store.fetch_or_run(spec, use_cache=False)
+    assert not result.cached
+    assert not (tmp_path / "empty").exists()
+
+
+def test_results_dir_env_var_relocates_store(tmp_path, monkeypatch):
+    monkeypatch.setenv("REPRO_RESULTS_DIR", str(tmp_path / "relocated"))
+    store = ResultStore()
+    store.fetch_or_run(get_spec("figure1"))
+    assert (tmp_path / "relocated" / "figure1").is_dir()
+    assert store.count("figure1") == 1
+
+
+def test_engine_param_specs_record_the_engine_actually_used(tmp_path):
+    """Specs with an ``engine`` parameter key/record that value, not the env."""
+    store = ResultStore(root=tmp_path)
+    spec = get_spec("panel_counts")
+    default = store.fetch_or_run(spec, quick=True)
+    assert default.artifact["engine"] == "event"  # the spec's param default
+    threaded = store.fetch_or_run(spec, {"engine": "threaded"}, quick=True)
+    assert threaded.artifact["engine"] == "threaded"
+    assert threaded.artifact["key"] != default.artifact["key"]
+    # Message counts are engine-independent (same simulated program).
+    assert threaded.rows == default.rows
+
+
+def test_context_key_depends_on_params_tier_and_engine():
+    base = context_key("table1", {"seed": 0}, "lapack", "event")
+    assert base == context_key("table1", {"seed": 0}, "lapack", "event")
+    assert base != context_key("table1", {"seed": 1}, "lapack", "event")
+    assert base != context_key("table1", {"seed": 0}, "reference", "event")
+    assert base != context_key("table1", {"seed": 0}, "lapack", "threaded")
+    assert base != context_key("table2", {"seed": 0}, "lapack", "event")
+
+
+def test_artifacts_listing_and_report_surface(tmp_path):
+    store = ResultStore(root=tmp_path)
+    store.fetch_or_run(get_spec("figure1"))
+    store.fetch_or_run(get_spec("table2"), quick=True)
+    everything = store.artifacts()
+    assert {a["spec"] for a in everything} == {"figure1", "table2"}
+    assert [a["spec"] for a in store.artifacts("figure1")] == ["figure1"]
+
+
+# ---------------------------------------------------------------------- sweep
+def test_expand_grid_cartesian_product_in_order():
+    combos = expand_grid({"P": (2, 4), "b": (8, 16, 32)})
+    assert len(combos) == 6
+    assert combos[0] == {"P": 2, "b": 8}
+    assert combos[-1] == {"P": 4, "b": 32}
+    assert expand_grid({}) == [{}]
+
+
+def test_sweep_concurrent_jobs_through_event_engine(tmp_path):
+    """≥4 grid points, genuinely concurrent, each running the event engine.
+
+    Every job first waits on a barrier — the sweep cannot finish unless all
+    four jobs are in flight simultaneously — and then measures a TSLU panel
+    on the deterministic event engine.
+    """
+    barrier = threading.Barrier(4, timeout=30)
+
+    def concurrent_panel_counts(m, b, P):
+        barrier.wait()
+        return [measure_panel_counts(m=m, b=b, P=P, engine="event")]
+
+    spec = ExperimentSpec(
+        name="_test_concurrent_panel",
+        title="test-only concurrent panel counts",
+        runner=concurrent_panel_counts,
+        params={"m": 64, "b": 4, "P": 2},
+    )
+    spec_module.register(spec)
+    try:
+        result = run_sweep(
+            spec,
+            grid={"P": (2, 4), "b": (2, 4)},
+            store=ResultStore(root=tmp_path),
+            jobs=4,
+        )
+    finally:
+        spec_module._REGISTRY.pop("_test_concurrent_panel", None)
+
+    assert not result.errors
+    assert len(result.jobs) == 4
+    assert result.max_in_flight == 4
+    assert result.misses == 4
+    rows = result.rows()
+    assert len(rows) == 4
+    for row in rows:
+        assert row["max_messages_per_rank"] == row["expected_log2P"]
+
+
+def test_sweep_results_cached_per_grid_point(tmp_path):
+    store = ResultStore(root=tmp_path)
+    spec = get_spec("panel_counts")
+    grid = {"P": (2, 4), "b": (4, 8)}
+    first = run_sweep(spec, grid, base={"m": 64}, store=store, jobs=2)
+    assert not first.errors
+    assert first.misses == 4 and first.hits == 0
+    again = run_sweep(spec, grid, base={"m": 64}, store=store, jobs=2)
+    assert again.hits == 4 and again.misses == 0
+    assert again.rows() == first.rows()
+    # Disjoint refinement only computes the new points.
+    refined = run_sweep(spec, {"P": (2, 4, 8), "b": (4, 8)},
+                        base={"m": 64}, store=store, jobs=2)
+    assert refined.hits == 4 and refined.misses == 2
+
+
+def test_sweep_rows_tag_grid_params():
+    spec = get_spec("table2")
+    result = run_sweep(spec, {"samples": (1, 2)}, base={"sizes": (64,)},
+                       jobs=1, use_cache=False)
+    rows = result.rows()
+    # 'samples' appears as the table2 column 'S', so it is tagged explicitly.
+    assert [r["param:samples"] for r in rows] == [1, 2]
+    assert [r["S"] for r in rows] == [1, 2]
+
+
+# -------------------------------------------------------------- serialization
+def test_rows_json_round_trip_is_bit_exact():
+    rows = [
+        {"a": 1, "b": 1.0 / 3.0, "c": "x,y", "d": [1, [2, 3]], "e": True},
+        {"a": 2, "b": 1e-300, "c": "", "d": [], "e": False},
+    ]
+    text = rows_to_json(rows, metadata={"spec": "demo", "engine": "event"})
+    back, meta = rows_from_json(text)
+    assert back == rows
+    assert back[0]["b"] == rows[0]["b"]  # exact float equality, not approx
+    assert meta == {"spec": "demo", "engine": "event"}
+    # Bare row lists are accepted too.
+    bare, meta2 = rows_from_json(json.dumps(rows))
+    assert bare == rows and meta2 == {}
+
+
+def test_rows_csv_quotes_commas_and_carries_metadata():
+    rows = [{"name": "a,b", "vals": [1, 2], "x": 3}]
+    text = rows_to_csv(rows, metadata={"spec": "demo"})
+    lines = text.splitlines()
+    assert lines[0] == "# spec: demo"
+    assert lines[1] == "name,vals,x"
+    assert lines[2] == '"a,b","[1, 2]",3'
+
+
+# ------------------------------------------------------------------------ CLI
+def run_cli(args, tmp_path):
+    return cli_main(list(args) + ["--results-dir", str(tmp_path)])
+
+
+def test_cli_list(tmp_path, capsys):
+    assert run_cli(["list"], tmp_path) == 0
+    out = capsys.readouterr().out
+    for name in PAPER_SPECS:
+        assert name in out
+
+
+def test_cli_run_quick_caches_and_matches_spec(tmp_path, capsys):
+    assert run_cli(["run", "table1", "figure1", "--quick", "--format", "json"],
+                   tmp_path) == 0
+    captured = capsys.readouterr()
+    assert "ran in" in captured.err
+    # Run again for a single spec: served from the cache, bit-identical rows.
+    assert run_cli(["run", "table1", "--quick", "--format", "json"], tmp_path) == 0
+    captured = capsys.readouterr()
+    assert "cache hit" in captured.err
+    rows, meta = rows_from_json(captured.out)
+    assert rows == get_spec("table1").run(quick=True)
+    assert meta["spec"] == "table1"
+    assert meta["kernel_tier"] in ("reference", "lapack")
+    # --force recomputes.
+    assert run_cli(["run", "table1", "--quick", "--force"], tmp_path) == 0
+    assert "ran in" in capsys.readouterr().err
+
+
+def test_cli_run_unknown_spec_fails(tmp_path, capsys):
+    assert run_cli(["run", "definitely_not_a_spec"], tmp_path) == 1
+    assert "FAILED" in capsys.readouterr().err
+
+
+def test_cli_set_override(tmp_path, capsys):
+    assert run_cli(["run", "table2", "--quick", "--set", "sizes=(32,)",
+                    "--format", "json"], tmp_path) == 0
+    rows, meta = rows_from_json(capsys.readouterr().out)
+    assert [r["n"] for r in rows] == [32]
+    assert meta["params"]["sizes"] == [32]
+
+
+def test_cli_engine_flag_takes_precedence_for_engine_param_specs(tmp_path, capsys):
+    assert run_cli(["run", "panel_counts", "--quick", "--engine", "threaded",
+                    "--format", "json"], tmp_path) == 0
+    rows, meta = rows_from_json(capsys.readouterr().out)
+    assert meta["engine"] == "threaded"
+    assert meta["params"]["engine"] == "threaded"
+    assert rows
+
+
+def test_cli_sweep_and_report(tmp_path, capsys):
+    assert run_cli(["sweep", "panel_counts", "--param", "P=2,4",
+                    "--param", "b=4,8", "--set", "m=64", "--jobs", "4"],
+                   tmp_path) == 0
+    captured = capsys.readouterr()
+    assert "4 jobs" in captured.err
+    assert "max_messages_per_rank" in captured.out
+    # All four grid points are now cached artifacts, visible to report.
+    assert run_cli(["report", "panel_counts"], tmp_path) == 0
+    out = capsys.readouterr().out
+    assert out.count("panel_counts (") == 4
+    # Markdown report pastes into docs.
+    assert run_cli(["report", "panel_counts", "--format", "markdown"], tmp_path) == 0
+    assert "| --" in capsys.readouterr().out
+
+
+def test_cli_report_empty_store_errors(tmp_path, capsys):
+    assert run_cli(["report"], tmp_path) == 1
+    assert "no cached artifacts" in capsys.readouterr().err

@@ -13,17 +13,39 @@ from .solve import (
     lu_solve,
     solve_with_refinement,
 )
+from .strategies import (
+    DEFAULT_STRATEGY,
+    PivotingStrategy,
+    available_strategies,
+    get_pivoting,
+    get_strategy,
+    pivoting,
+    resolve_pivoting,
+    set_pivoting,
+)
 from .tournament import (
     CandidateSet,
     TournamentResult,
     local_candidates,
+    local_candidates_rrqr,
     merge_candidates,
+    merge_candidates_rrqr,
     partition_rows,
     tournament_pivoting,
 )
 from .tslu import TSLUResult, tslu, tslu_partial_pivoting_reference
 
 __all__ = [
+    "available_strategies",
+    "get_pivoting",
+    "get_strategy",
+    "set_pivoting",
+    "pivoting",
+    "resolve_pivoting",
+    "PivotingStrategy",
+    "DEFAULT_STRATEGY",
+    "local_candidates_rrqr",
+    "merge_candidates_rrqr",
     "calu",
     "CALUResult",
     "reconstruct",

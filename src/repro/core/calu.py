@@ -26,7 +26,7 @@ from ..kernels.flops import FlopCounter
 from ..kernels.gemm import gemm_update
 from ..kernels.laswp import permute_rows_inplace
 from ..kernels.pivoting import invert_perm
-from ..kernels.trsm import trsm_lower_unit
+from ..kernels.trsm import trsm_lower_unit, trsm_upper
 from .tslu import tslu
 
 
@@ -55,6 +55,9 @@ class CALUResult:
         The block size ``b`` used.
     nblocks:
         The number of row blocks ``Pr`` used by the panel tournaments.
+    pivoting:
+        The pivoting strategy the panels used (``"pp"``, ``"ca"`` or
+        ``"ca_prrp"``; see :mod:`repro.core.strategies`).
     """
 
     L: np.ndarray
@@ -65,6 +68,7 @@ class CALUResult:
     flops: FlopCounter = field(default_factory=FlopCounter)
     panel_width: int = 0
     nblocks: int = 1
+    pivoting: str = "ca"
 
 
 def calu(
@@ -77,6 +81,7 @@ def calu(
     track_growth: bool = False,
     compute_thresholds: bool = False,
     kernel_tier: Optional[str] = None,
+    pivoting: Optional[str] = None,
 ) -> CALUResult:
     """Factor ``A`` with communication-avoiding LU (ca-pivoting panels).
 
@@ -103,6 +108,11 @@ def calu(
         see :mod:`repro.kernels.tiers`).  Requesting growth or threshold
         recording forces the reference tier so the stability experiments are
         reproducible bit-for-bit regardless of the knob.
+    pivoting:
+        Pivoting strategy for the panels (None: process-wide default,
+        normally ``"ca"`` — see :mod:`repro.core.strategies`): ``"pp"``
+        (partial-pivoting panels, i.e. blocked GEPP), ``"ca"`` (the paper's
+        tournament) or ``"ca_prrp"`` (strong-RRQR tournament, CALU_PRRP).
 
     Returns
     -------
@@ -126,6 +136,9 @@ def calu(
     if nblocks < 1:
         raise ValueError("nblocks must be >= 1")
 
+    from .strategies import resolve_pivoting
+
+    strategy = resolve_pivoting(pivoting)
     b = min(block_size, n)
     flops = FlopCounter()
     if track_growth or compute_thresholds:
@@ -154,6 +167,7 @@ def calu(
             block_size=jb,
             compute_thresholds=compute_thresholds,
             kernel_tier=kernel_tier,
+            pivoting=strategy,
         )
         if compute_thresholds:
             thresholds.append(pres.threshold_history)
@@ -165,34 +179,69 @@ def calu(
         permute_rows_inplace(A[j:, :], local_perm)
         permute_rows_inplace(perm[j:], local_perm)
 
-        # Store the panel factors in packed form: U on and above the diagonal,
-        # the strictly-lower part of L below it (unit diagonal implicit) —
-        # written column by column straight into A, no packed temporary.
         k = min(panel.shape[0], jb)
-        panel[:k, :] = pres.U[:k, :]
-        for c in range(k):
-            panel[c + 1 :, c] = pres.L[c + 1 :, c]
-        if k < jb:  # degenerate wide fringe: zero the unfactored corner
-            panel[k:, k:] = 0.0
-
-        if j + jb < n:
-            # Block-row of U: U12 = L11^{-1} A12.  The solver reads only the
-            # strict lower triangle (unit diagonal implied), so L can be
-            # passed as is — no tril + eye temporaries.
-            A[j : j + jb, j + jb :] = trsm_lower_unit(
-                pres.L[:jb, :jb], A[j : j + jb, j + jb :], flops=flops
-            )
-            # Trailing update: A22 -= L21 @ U12.
-            if j + jb < m:
-                gemm_update(
-                    A[j + jb :, j + jb :],
-                    pres.L[jb:, :],
-                    A[j : j + jb, j + jb :],
+        if strategy == "ca_prrp":
+            # LU_PRRP block panel (Khabou et al., arXiv:1208.2451): the
+            # winner block A11 stays as it is, the eliminated rows store
+            # L21 = A21 A11^{-1} (every entry tau-bounded by the strong-RRQR
+            # selection), the U block-row keeps the winner rows' original
+            # values, and the trailing update is the block Schur complement
+            # S = A22 - L21 A12.  No triangularization happens here — that
+            # is deferred to a per-panel GEPP post-pass (see below), so the
+            # recorded growth history is exactly the block-form quantity the
+            # PRRP growth bound (1+2b)^(n/b) speaks about.
+            if panel.shape[0] > k:
+                # L21 = (A21 U11^{-1}) L11^{-1} from the tournament's
+                # triangular factors of the winner block.
+                L21 = trsm_upper(
+                    np.ascontiguousarray(pres.L[:k, :k].T),
+                    np.ascontiguousarray(pres.L[k:, :k].T),
                     flops=flops,
-                    work=gemm_work,
+                ).T
+                panel[k:, :k] = L21
+                if j + jb < n and j + jb < m:
+                    # Trailing block Schur update: A22 -= L21 @ A12.
+                    gemm_update(
+                        A[j + jb :, j + jb :],
+                        panel[jb:, :],
+                        A[j : j + jb, j + jb :],
+                        flops=flops,
+                        work=gemm_work,
+                    )
+            if k < jb:  # degenerate wide fringe: zero the unfactored corner
+                panel[k:, k:] = 0.0
+        else:
+            # Store the panel factors in packed form: U on and above the
+            # diagonal, the strictly-lower part of L below it (unit diagonal
+            # implicit) — written column by column straight into A, no packed
+            # temporary.
+            panel[:k, :] = pres.U[:k, :]
+            for c in range(k):
+                panel[c + 1 :, c] = pres.L[c + 1 :, c]
+            if k < jb:  # degenerate wide fringe: zero the unfactored corner
+                panel[k:, k:] = 0.0
+
+            if j + jb < n:
+                # Block-row of U: U12 = L11^{-1} A12.  The solver reads only
+                # the strict lower triangle (unit diagonal implied), so L can
+                # be passed as is — no tril + eye temporaries.
+                A[j : j + jb, j + jb :] = trsm_lower_unit(
+                    pres.L[:jb, :jb], A[j : j + jb, j + jb :], flops=flops
                 )
+                # Trailing update: A22 -= L21 @ U12.
+                if j + jb < m:
+                    gemm_update(
+                        A[j + jb :, j + jb :],
+                        pres.L[jb:, :],
+                        A[j : j + jb, j + jb :],
+                        flops=flops,
+                        work=gemm_work,
+                    )
         if track_growth:
             growth.append(float(np.max(np.abs(A))))
+
+    if strategy == "ca_prrp":
+        _triangularize_prrp_panels(A, perm, b, n, flops, kernel_tier)
 
     k = min(m, n)
     L = np.tril(A[:, :k], -1)
@@ -207,7 +256,62 @@ def calu(
         flops=flops,
         panel_width=b,
         nblocks=nblocks,
+        pivoting=strategy,
     )
+
+
+def _triangularize_prrp_panels(
+    A: np.ndarray,
+    perm: np.ndarray,
+    b: int,
+    n: int,
+    flops: FlopCounter,
+    kernel_tier: Optional[str],
+) -> None:
+    """Turn the block-form PRRP factorization into triangular L/U, in place.
+
+    After the block elimination every diagonal block still holds the original
+    winner rows ``A11`` (with ``A21 A11^{-1}`` below and the winners' original
+    trailing columns to the right).  A GEPP of each ``b x b`` diagonal block —
+    a purely local operation; in the distributed algorithm every rank of the
+    grid column performs it redundantly, costing no messages — finishes the
+    factorization:
+
+        ``A11[p] = L11 U11``  =>  ``L21_final = L21[:, p-cols] L11``,
+        ``U12_final = L11^{-1} A12[p]``,
+
+    leaving the standard packed unit-lower/upper-triangular layout that
+    :func:`calu` returns for every strategy.  The growth recorded *before*
+    this pass is the block-form growth factor of the PRRP analysis; this pass
+    only reshapes factors (its b x b GEPP growth is local and does not
+    compound across panels).
+    """
+    from ..kernels.getf2 import getf2
+
+    m = A.shape[0]
+    for j in range(0, n, b):
+        jb = min(b, n - j)
+        k = min(m - j, jb)
+        res = getf2(A[j : j + k, j : j + k], flops=flops, kernel_tier=kernel_tier)
+        p = res.perm
+        L11 = np.tril(res.lu[:, :k], -1)
+        np.fill_diagonal(L11, 1.0)
+        # Reorder the winner rows: their global-permutation entries, their
+        # already-final L entries to the left, and their raw A12 to the right.
+        permute_rows_inplace(perm[j : j + k], p)
+        if j > 0:
+            A[j : j + k, :j] = A[j : j + k, :j][p]
+        A[j : j + k, j : j + k] = res.lu
+        if j + jb < n:
+            A[j : j + k, j + jb :] = trsm_lower_unit(
+                res.lu[:, :k], A[j : j + k, j + jb :][p], flops=flops
+            )
+        # Eliminated rows below: L21_final = (L21 P^T) L11 so that
+        # L21_final U11 = L21 A11 = A21.
+        if j + k < m:
+            L21 = A[j + k :, j : j + k]
+            np.matmul(L21[:, p], L11, out=L21)
+            flops.add_muladds(2.0 * (m - j - k) * k * k)
 
 
 def reconstruct(result: CALUResult) -> np.ndarray:

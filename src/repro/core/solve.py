@@ -28,8 +28,11 @@ class SolveResult:
     x:
         Computed solution.
     residual_norms:
-        Infinity norm of ``b - A x`` after the initial solve and after each
-        refinement step.
+        Largest residual entry ``max_i |b - A x|_i`` after the initial solve
+        and after each refinement step.  For a matrix of right-hand sides
+        this is the maximum over *all* entries (the worst single residual of
+        any system) — not the matrix infinity norm, which would sum the
+        residuals across right-hand sides.
     backward_errors:
         Componentwise backward error ``max_i |r_i| / (|A| |x| + |b|)_i`` after
         the initial solve and after each refinement step (the paper's ``w_b``).
@@ -84,6 +87,18 @@ def componentwise_backward_error(
     return float(np.max(ratios)) if ratios.size else 0.0
 
 
+def _max_abs_residual(r: np.ndarray) -> float:
+    """Largest residual entry, per right-hand side.
+
+    ``np.linalg.norm(r, np.inf)`` on a *matrix* residual is the maximum row
+    sum — it grows with the number of right-hand sides and overstates the
+    error (e.g. 2.74e-14 reported vs 1.20e-14 true on a 50x3 system).  The
+    recorded quantity is the max-abs entry, which coincides with the vector
+    infinity norm in the single-RHS case.
+    """
+    return float(np.max(np.abs(r))) if r.size else 0.0
+
+
 def solve_with_refinement(
     A: np.ndarray,
     b: np.ndarray,
@@ -100,7 +115,7 @@ def solve_with_refinement(
     A = np.asarray(A, dtype=np.float64)
     b = np.asarray(b, dtype=np.float64)
     x = lu_solve(factorization.L, factorization.U, factorization.perm, b, flops=flops)
-    residuals = [float(np.linalg.norm(b - A @ x, np.inf))]
+    residuals = [_max_abs_residual(b - A @ x)]
     backward = [componentwise_backward_error(A, x, b)]
     iterations = 0
     for _ in range(max_iterations):
@@ -110,7 +125,7 @@ def solve_with_refinement(
         dx = lu_solve(factorization.L, factorization.U, factorization.perm, r, flops=flops)
         x = x + dx
         iterations += 1
-        residuals.append(float(np.linalg.norm(b - A @ x, np.inf)))
+        residuals.append(_max_abs_residual(b - A @ x))
         backward.append(componentwise_backward_error(A, x, b))
     return SolveResult(
         x=x, residual_norms=residuals, backward_errors=backward, iterations=iterations

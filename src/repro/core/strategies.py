@@ -1,0 +1,164 @@
+"""Pluggable panel-pivoting strategies: partial, ca, and ca+PRRP pivoting.
+
+The paper's argument is a trade: tournament (ca-)pivoting buys a factor ``b``
+of latency over partial pivoting at the price of a modestly larger growth
+factor.  Khabou-Demmel-Grigori-Gu (arXiv:1208.2451) sharpen the trade by
+replacing the partial-pivoting selection inside the tournament with a strong
+rank-revealing QR of the transposed block (CALU_PRRP), bounding the growth by
+``(1 + 2b)^(n/b)``.  This module makes the pivoting choice a first-class,
+registry-addressed knob — exactly like the kernel tiers
+(:mod:`repro.kernels.tiers`) and the virtual-MPI engines
+(:mod:`repro.distsim.engine`):
+
+``"pp"``
+    Partial pivoting on the whole panel (GEPP panels).  The communication
+    baseline: distributed, this is ScaLAPACK's PDGETF2 (``~2 b log2 Pr``
+    messages per panel).
+
+``"ca"`` (the default)
+    The paper's ca-pivoting tournament with partial-pivoting selection at the
+    leaves and merge nodes.  This is the seed behaviour — every recorded
+    stability quantity stays bit-identical to it.
+
+``"ca_prrp"``
+    The tournament with strong-RRQR selection (:mod:`repro.kernels.rrqr`) at
+    the leaves and merge nodes, then the panel factored without further
+    pivoting — CALU_PRRP.  Same communication pattern as ``"ca"`` (one
+    reduction over the grid column), strictly better growth bound.
+
+Selection, in order of precedence (mirroring the tier/engine knobs):
+
+1. per call: ``calu(A, ..., pivoting="ca_prrp")`` (also on ``tslu``,
+   ``ptslu``, ``pcalu`` and the stability reports);
+2. process-wide: :func:`set_pivoting` / the :func:`pivoting` context manager;
+3. environment: ``REPRO_PIVOTING``;
+4. default: ``"ca"``.
+"""
+
+from __future__ import annotations
+
+import os
+from contextlib import contextmanager
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Optional
+
+
+@dataclass(frozen=True)
+class PivotingStrategy:
+    """Declarative description of one pivoting strategy.
+
+    Attributes
+    ----------
+    name:
+        Registry key (what the ``pivoting=`` knob accepts).
+    title:
+        One-line human description.
+    tournament:
+        True when panel pivots are chosen by a reduction-tree tournament
+        (``log2 P`` messages per panel); False for column-by-column partial
+        pivoting (``~2 b log2 P`` messages).
+    selector:
+        Selection kernel at the tournament leaves/merge nodes: ``"getf2"``
+        (partial-pivoting rows) or ``"rrqr"`` (strong-RRQR rows); ``None``
+        for non-tournament strategies.
+    growth_bound:
+        Worst-case growth factor bound, for documentation/reports.
+    reference:
+        Where the strategy comes from.
+    """
+
+    name: str
+    title: str
+    tournament: bool
+    selector: Optional[str]
+    growth_bound: str
+    reference: str
+
+
+STRATEGIES: Dict[str, PivotingStrategy] = {
+    "pp": PivotingStrategy(
+        name="pp",
+        title="partial pivoting (GEPP panels, the communication baseline)",
+        tournament=False,
+        selector=None,
+        growth_bound="2^(n-1)",
+        reference="LAPACK GETF2 / ScaLAPACK PDGETF2",
+    ),
+    "ca": PivotingStrategy(
+        name="ca",
+        title="ca-pivoting tournament with partial-pivoting selection (CALU)",
+        tournament=True,
+        selector="getf2",
+        growth_bound="2^(n(log2(P)+1)) worst case, ~1.5 n^(2/3) observed",
+        reference="Grigori-Demmel-Xiang, SC'08 (the reproduced paper)",
+    ),
+    "ca_prrp": PivotingStrategy(
+        name="ca_prrp",
+        title="ca-pivoting tournament with strong-RRQR selection (CALU_PRRP)",
+        tournament=True,
+        selector="rrqr",
+        growth_bound="(1+2b)^(n/b)",
+        reference="Khabou-Demmel-Grigori-Gu, arXiv:1208.2451",
+    ),
+}
+
+#: Strategy used when neither a per-call argument, a process-wide override,
+#: nor the environment variable is given — the paper's own algorithm.
+DEFAULT_STRATEGY = "ca"
+
+#: Environment variable consulted by :func:`get_pivoting` (consistent with
+#: ``REPRO_KERNEL_TIER`` / ``REPRO_VMPI_ENGINE`` / ``REPRO_RESULTS_DIR``).
+ENV_VAR = "REPRO_PIVOTING"
+
+_process_strategy: Optional[str] = None
+
+
+def _validate(name: str) -> str:
+    if name not in STRATEGIES:
+        raise ValueError(
+            f"unknown pivoting strategy {name!r}; available: {available_strategies()}"
+        )
+    return name
+
+
+def available_strategies() -> List[str]:
+    """Registered strategy names, sorted."""
+    return sorted(STRATEGIES)
+
+
+def get_strategy(name: str) -> PivotingStrategy:
+    """Look up one strategy's metadata by name."""
+    return STRATEGIES[_validate(name)]
+
+
+def get_pivoting() -> str:
+    """The process-wide strategy (override > ``REPRO_PIVOTING`` > ``"ca"``)."""
+    if _process_strategy is not None:
+        return _process_strategy
+    env = os.environ.get(ENV_VAR)
+    if env:
+        return _validate(env)
+    return DEFAULT_STRATEGY
+
+
+def set_pivoting(name: Optional[str]) -> None:
+    """Set (or with ``None`` clear) the process-wide strategy override."""
+    global _process_strategy
+    _process_strategy = _validate(name) if name is not None else None
+
+
+@contextmanager
+def pivoting(name: str) -> Iterator[None]:
+    """Context manager scoping a process-wide strategy override."""
+    global _process_strategy
+    previous = _process_strategy
+    set_pivoting(name)
+    try:
+        yield
+    finally:
+        _process_strategy = previous
+
+
+def resolve_pivoting(name: Optional[str] = None) -> str:
+    """Resolve a per-call ``pivoting=`` argument to a validated strategy name."""
+    return _validate(name) if name is not None else get_pivoting()

@@ -32,6 +32,7 @@ from ..kernels.batched import getf2_batched, slab_flop_counters
 from ..kernels.flops import FlopCounter
 from ..kernels.getf2 import getf2
 from ..kernels.rgetf2 import rgetf2
+from ..kernels.rrqr import select_rows_rrqr
 from ..kernels.tiers import resolve_tier
 
 #: The local factorization kernels selectable for the leaf step (the paper's
@@ -171,6 +172,129 @@ def merge_candidates(
     return winner, U
 
 
+def local_candidates_rrqr(
+    rows: np.ndarray,
+    block: np.ndarray,
+    b: int,
+    flops: Optional[FlopCounter] = None,
+) -> CandidateSet:
+    """Leaf step of the CALU_PRRP tournament: strong-RRQR row selection.
+
+    Same contract as :func:`local_candidates`, but the candidates are the rows
+    a strong rank-revealing QR of ``block.T`` picks — every rejected row is a
+    ``tau``-bounded combination of the selected ones, which is what bounds the
+    PRRP growth factor (Khabou et al., arXiv:1208.2451).
+    """
+    rows = np.asarray(rows, dtype=np.int64)
+    block = np.asarray(block, dtype=np.float64)
+    if block.ndim != 2 or block.shape[0] != rows.shape[0]:
+        raise ValueError("block shape must match the number of row indices")
+    if block.shape[0] == 0:
+        return CandidateSet(rows=rows[:0], block=block[:0])
+    chosen = select_rows_rrqr(block, min(b, block.shape[0]), flops=flops)
+    return CandidateSet(rows=rows[chosen], block=block[chosen, :])
+
+
+def merge_candidates_rrqr(
+    a: CandidateSet,
+    b_set: CandidateSet,
+    b: int,
+    flops: Optional[FlopCounter] = None,
+) -> Tuple[CandidateSet, None]:
+    """Internal CALU_PRRP tournament node: strong-RRQR merge of two candidate sets.
+
+    The stacked ``2b x b`` candidate block is reduced to ``b`` winners by
+    strong-RRQR row selection.  Unlike :func:`merge_candidates`, no ``U``
+    factor falls out of the selection — CALU_PRRP computes the panel's ``U11``
+    in a second no-pivoting elimination of the winner rows (see
+    :func:`tournament_pivoting`), so the second tuple element is ``None``.
+    """
+    stacked = np.vstack([a.block, b_set.block])
+    all_rows = np.concatenate([a.rows, b_set.rows])
+    if stacked.shape[0] == 0:
+        return CandidateSet(rows=all_rows, block=stacked), None
+    chosen = select_rows_rrqr(stacked, min(b, stacked.shape[0]), flops=flops)
+    return CandidateSet(rows=all_rows[chosen], block=stacked[chosen, :]), None
+
+
+def _reduce_selected(
+    candidates: List[CandidateSet],
+    b: int,
+    flops: Optional[FlopCounter],
+    schedule: str,
+    merge_fn,
+) -> Tuple[CandidateSet, int]:
+    """Schedule-shaped reduction with a pluggable merge (selection only, no U).
+
+    Supports the same three schedules as the partial-pivoting tournament.
+    Used by the ``rrqr`` selector, whose merges carry no ``U`` factor and need
+    none of the bit-compatibility batching of the ``getf2`` path.
+
+    Deliberately a separate implementation from ``_flat_reduce`` /
+    ``_binary_reduce`` / ``_butterfly_reduce`` + ``_merge_round``: those are
+    bit-locked to the seed arithmetic (and interwoven with the batched-LU
+    fast path), so they must not grow a merge-operator parameter.  The
+    scheduling conventions are shared by contract, not by code — any change
+    to the pairing order, the butterfly ``candidates[-1]`` padding rule, or
+    the charge-once-per-logical-merge flop convention there must be mirrored
+    here (and vice versa).
+    """
+    if schedule == "flat":
+        acc = candidates[0]
+        rounds = 0
+        for nxt in candidates[1:]:
+            acc, _ = merge_fn(acc, nxt, b, flops=flops)
+            rounds += 1
+        return acc, rounds
+    if schedule == "binary":
+        level = list(candidates)
+        rounds = 0
+        while len(level) > 1:
+            rounds += 1
+            nxt = [
+                merge_fn(level[i], level[i + 1], b, flops=flops)[0]
+                for i in range(0, len(level) - 1, 2)
+            ]
+            if len(level) % 2 == 1:
+                nxt.append(level[-1])
+            level = nxt
+        return level[0], rounds
+    if schedule == "butterfly":
+        p = len(candidates)
+        if p == 1:
+            return candidates[0], 0
+        pow2 = 1
+        while pow2 < p:
+            pow2 *= 2
+        current = list(candidates) + [candidates[-1]] * (pow2 - p)
+        rounds = 0
+        k = 1
+        while k < pow2:
+            rounds += 1
+            # Each unordered pair is computed once and shared (the redundant
+            # butterfly merges are bit-identical), but the flop ledger is
+            # charged once per logical merge so the accounted arithmetic
+            # matches the redundant parallel schedule — same convention as
+            # the batched getf2 path.
+            cache: dict = {}
+            nxt = []
+            for i in range(pow2):
+                partner = i ^ k
+                lo, hi = (i, partner) if i < partner else (partner, i)
+                if (lo, hi) not in cache:
+                    scratch = FlopCounter()
+                    winner, _ = merge_fn(current[lo], current[hi], b, flops=scratch)
+                    cache[(lo, hi)] = (winner, scratch)
+                winner, scratch = cache[(lo, hi)]
+                if flops is not None:
+                    flops.merge(scratch)
+                nxt.append(winner)
+            current = nxt
+            k *= 2
+        return current[0], rounds
+    raise ValueError(f"unknown tournament schedule {schedule!r}")
+
+
 def _merge_round(
     pairs: List[Tuple[CandidateSet, CandidateSet]],
     b: int,
@@ -196,6 +320,10 @@ def _merge_round(
     Odd-shaped pairs (short blocks at the panel fringe) fall back to the
     sequential merge.  With ``batched=False`` this is exactly the seed's
     sequential merge loop.
+
+    The rrqr selector's ``_reduce_selected`` mirrors this round's scheduling
+    conventions (pairing order, padding, per-logical-merge flop charging)
+    without sharing code — keep the two in sync when changing either.
     """
     n_pairs = len(pairs)
     if not batched:
@@ -276,6 +404,7 @@ def tournament_pivoting(
     schedule: str = "binary",
     local_kernel: str = "getf2",
     kernel_tier: Optional[str] = None,
+    selector: str = "getf2",
 ) -> TournamentResult:
     """Run the full ca-pivoting tournament over a partitioned panel.
 
@@ -307,6 +436,15 @@ def tournament_pivoting(
         single :func:`~repro.kernels.batched.getf2_batched` call; the
         winners, ``U`` factor and flop charges are bit-identical to the
         sequential reference schedule.
+    selector:
+        Selection kernel at the leaves and merge nodes:
+
+        * ``"getf2"`` — partial-pivoting rows (the paper's ca-pivoting);
+        * ``"rrqr"`` — strong-RRQR rows (CALU_PRRP, Khabou et al.,
+          arXiv:1208.2451).  The selection tree carries no ``U`` factor; the
+          panel's ``U11`` is a second no-pivoting elimination of the winner
+          rows — exactly the redundant second phase the distributed code
+          (:func:`repro.parallel.ptslu.ptslu_rank`) performs anyway.
 
     Returns
     -------
@@ -316,6 +454,10 @@ def tournament_pivoting(
         raise ValueError("panel width b must be >= 1")
     if len(blocks) == 0:
         raise ValueError("tournament needs at least one row block")
+    if selector == "rrqr":
+        return _tournament_rrqr(blocks, b, flops, schedule)
+    if selector != "getf2":
+        raise ValueError(f"unknown tournament selector {selector!r}")
     batched = resolve_tier(kernel_tier) != "reference"
     if batched and local_kernel == "getf2":
         candidates = _leaf_candidates_batched(blocks, b, flops, kernel_tier)
@@ -339,6 +481,40 @@ def tournament_pivoting(
     if schedule == "butterfly":
         return _butterfly_reduce(candidates, b, flops, batched)
     raise ValueError(f"unknown tournament schedule {schedule!r}")
+
+
+def _tournament_rrqr(
+    blocks: Sequence[Tuple[np.ndarray, np.ndarray]],
+    b: int,
+    flops: Optional[FlopCounter],
+    schedule: str,
+) -> TournamentResult:
+    """CALU_PRRP tournament: strong-RRQR selection, then a pivoted root LU.
+
+    The reduction tree only *selects* the winner set — strong RRQR bounds how
+    much any rejected row depends on the winners (``|L21| <= tau``), but its
+    selection order says nothing about elimination order.  The panel's
+    ``U11`` therefore comes from an LU with partial pivoting *of the winner
+    block only*: a permutation inside the already-chosen ``b`` rows, so it
+    costs no extra communication (every rank of the distributed TSLU performs
+    it redundantly after the butterfly), while keeping the diagonal-block
+    elimination as stable as GEPP.
+    """
+    candidates = [
+        local_candidates_rrqr(rows, block, b, flops=flops) for rows, block in blocks
+    ]
+    candidates = [c for c in candidates if c.rows.shape[0] > 0]
+    if not candidates:
+        raise ValueError("all row blocks are empty")
+    winner, rounds = _reduce_selected(
+        candidates, b, flops, schedule, merge_candidates_rrqr
+    )
+    k = min(b, winner.rows.shape[0])
+    res = getf2(winner.block[:k, :], flops=flops, kernel_tier="reference")
+    order = res.perm[:k]
+    return TournamentResult(
+        winners=winner.rows[:k][order], U=np.triu(res.lu[:k, :]), rounds=rounds
+    )
 
 
 def _leaf_candidates_batched(

@@ -19,6 +19,7 @@ import numpy as np
 
 from ..kernels.flops import FlopCounter
 from ..kernels.trsm import trsm_right_upper
+from .strategies import get_strategy, resolve_pivoting
 from .tournament import TournamentResult, partition_rows, tournament_pivoting
 
 
@@ -66,6 +67,7 @@ def tslu(
     row_indices: Optional[Sequence[int]] = None,
     compute_thresholds: bool = False,
     kernel_tier: Optional[str] = None,
+    pivoting: Optional[str] = None,
 ) -> TSLUResult:
     """Factor a tall-skinny panel ``A`` (``m x b``) with ca-pivoting.
 
@@ -97,6 +99,13 @@ def tslu(
     kernel_tier:
         Kernel tier for the tournament (None: process-wide default); see
         :mod:`repro.kernels.tiers`.
+    pivoting:
+        Pivoting strategy (None: process-wide default, normally ``"ca"`` —
+        see :mod:`repro.core.strategies`).  ``"ca"`` is the paper's
+        tournament; ``"ca_prrp"`` swaps strong-RRQR selection into the
+        tournament (CALU_PRRP); ``"pp"`` factors the whole panel with partial
+        pivoting (``nblocks`` only affects communication modelling, which the
+        sequential algorithm does not perform).
 
     Returns
     -------
@@ -111,21 +120,45 @@ def tslu(
     if nblocks < 1:
         raise ValueError("nblocks must be >= 1")
 
-    groups = partition_rows(
-        m,
-        nblocks,
-        scheme=partition,
-        block=block_size or b,
-    )
+    strategy = get_strategy(resolve_pivoting(pivoting))
     if compute_thresholds:
         # Stability recording must replay the reference arithmetic exactly.
         kernel_tier = "reference"
-    blocks = [(g, A[g, :]) for g in groups]
-    tres = tournament_pivoting(
-        blocks, b, flops=flops, schedule=schedule, local_kernel=local_kernel,
-        kernel_tier=kernel_tier,
-    )
     k = min(m, b)
+
+    getf2_L: Optional[np.ndarray] = None
+    getf2_pos: Optional[np.ndarray] = None
+    if not strategy.tournament:
+        # Partial pivoting on the whole panel: the winners are the pivot rows
+        # of the classic factorization, U its upper-triangular factor.
+        from ..kernels.getf2 import getf2
+
+        res = getf2(A, flops=flops, kernel_tier=kernel_tier)
+        tres = TournamentResult(
+            winners=np.asarray(res.perm[:k], dtype=np.int64),
+            U=np.triu(res.lu[:k, :]),
+            rounds=0,
+        )
+        # getf2 already computed every multiplier: row r of the panel's L is
+        # the packed row at r's position in getf2's permutation.  Keep them
+        # (plus the position map) so L is a gather below, not an O(m b^2)
+        # re-solve that would double the work and the charged flops.
+        getf2_L = np.tril(res.lu[:, :k], -1)
+        np.fill_diagonal(getf2_L, 1.0)
+        getf2_pos = np.empty(m, dtype=np.int64)
+        getf2_pos[res.perm] = np.arange(m, dtype=np.int64)
+    else:
+        groups = partition_rows(
+            m,
+            nblocks,
+            scheme=partition,
+            block=block_size or b,
+        )
+        blocks = [(g, A[g, :]) for g in groups]
+        tres = tournament_pivoting(
+            blocks, b, flops=flops, schedule=schedule, local_kernel=local_kernel,
+            kernel_tier=kernel_tier, selector=strategy.selector,
+        )
     winners = tres.winners[:k]
 
     # Build the full row permutation: winners first (in pivot order), then the
@@ -136,14 +169,18 @@ def tslu(
     perm = np.concatenate([winners, rest]).astype(np.int64)
 
     # U is the root factor of the tournament (k x b upper triangular /
-    # trapezoidal); L follows from a triangular solve with the permuted panel.
+    # trapezoidal); L follows from a triangular solve with the permuted panel
+    # (tournament strategies) or a gather of the multipliers the panel
+    # factorization already produced (partial pivoting).
     U = np.asarray(tres.U, dtype=np.float64)[:k, :]
-    permuted = A[perm, :]
-    U11 = U[:, :k]
-    L = trsm_right_upper(U11, permuted[:, :k], flops=flops)
+    if getf2_L is not None:
+        L = getf2_L[getf2_pos[perm]]
+    else:
+        U11 = U[:, :k]
+        L = trsm_right_upper(U11, A[perm, :k], flops=flops)
 
     thresholds = (
-        _threshold_history(permuted, k) if compute_thresholds else np.empty(0)
+        _threshold_history(A[perm, :], k) if compute_thresholds else np.empty(0)
     )
 
     if row_indices is not None:

@@ -147,18 +147,21 @@ def growth_threshold_series(
 
 
 def stability_point(
-    n: int, P: int, b: int, seed: int = 0, method: str = "calu"
+    n: int, P: int, b: int, seed: int = 0, method: str = "calu",
+    pivoting: str = "ca",
 ) -> Rows:
     """One stability row at a single (n, P, b) point — the sweepable scenario.
 
     ``method="calu"`` runs ca-pivoting, ``"gepp"`` the partial-pivoting
     reference (for which P and b are ignored beyond bookkeeping).
+    ``pivoting`` selects the panel strategy of the ``"calu"`` method
+    (``"pp"``, ``"ca"``, ``"ca_prrp"`` — see :mod:`repro.core.strategies`).
     """
     A = randn(n, seed=seed + n)
     if method == "calu":
         if b >= n or P * b > n:
             return []
-        row = stability_row_calu(A, P=P, b=b)
+        row = stability_row_calu(A, P=P, b=b, pivoting=pivoting)
     elif method == "gepp":
         row = stability_row_gepp(A)
     else:
@@ -167,6 +170,59 @@ def stability_point(
     d["hpl_passed"] = row.residuals.passed
     d["seed"] = seed
     return [d]
+
+
+def pivoting_comparison(
+    n: int, P: int, b: int, seed: int = 0, samples: int = 1
+) -> Rows:
+    """Three-way growth/threshold comparison at one (n, P, b) grid point.
+
+    Runs ``calu`` with every registered pivoting strategy (``pp``, ``ca``,
+    ``ca_prrp``) on the same random matrices and reports the sample-averaged
+    growth factor, threshold statistics and factorization error side by side
+    — the CALU vs CALU_PRRP comparison of Khabou et al. (arXiv:1208.2451) as
+    a sweepable scenario.  One row per strategy.
+    """
+    from ..core.calu import calu, factorization_error
+    from ..core.strategies import available_strategies
+    from ..stability.growth import trefethen_schreiber_growth
+    from ..stability.threshold import threshold_stats
+
+    if b >= n or P * b > n:
+        return []
+    rows: Rows = []
+    for strat in available_strategies():
+        gts, tmins, taves, errs = [], [], [], []
+        for s in range(samples):
+            A = randn(n, seed=seed + 1000 * s + n)
+            res = calu(
+                A,
+                block_size=b,
+                nblocks=P,
+                pivoting=strat,
+                track_growth=True,
+                compute_thresholds=True,
+            )
+            gts.append(trefethen_schreiber_growth(A, res.growth_history))
+            stats = threshold_stats(res.threshold_history)
+            tmins.append(stats.minimum)
+            taves.append(stats.average)
+            errs.append(factorization_error(A, res))
+        rows.append(
+            {
+                "n": n,
+                "P": P,
+                "b": b,
+                "pivoting": strat,
+                "S": samples,
+                "gT": float(np.mean(gts)),
+                "tau_min": float(np.min(tmins)),
+                "tau_ave": float(np.mean(taves)),
+                "max_error": float(np.max(errs)),
+                "seed": seed,
+            }
+        )
+    return rows
 
 
 # ------------------------------------------------------------- model sweeps

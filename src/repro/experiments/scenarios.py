@@ -19,7 +19,12 @@ from __future__ import annotations
 from typing import Dict, List
 
 from ..harness import ExperimentSpec, register
-from .runners import factorization_point, panel_point, stability_point
+from .runners import (
+    factorization_point,
+    panel_point,
+    pivoting_comparison,
+    stability_point,
+)
 from .validation import DEFAULT_ENGINE, measure_panel_counts
 
 
@@ -35,11 +40,29 @@ SPEC_STABILITY = register(
         name="stability",
         title="Stability point: growth/thresholds/HPL at one (n, P, b)",
         runner=stability_point,
-        params={"n": 256, "P": 8, "b": 16, "seed": 0, "method": "calu"},
+        params={"n": 256, "P": 8, "b": 16, "seed": 0, "method": "calu",
+                "pivoting": "ca"},
         quick={"n": 64, "P": 2, "b": 8},
-        columns=("n", "P", "b", "gT", "tau_ave", "tau_min", "wb",
+        columns=("n", "P", "b", "method", "gT", "tau_ave", "tau_min", "wb",
                  "HPL1", "HPL2", "HPL3", "hpl_passed", "seed"),
-        sweepable=("n", "P", "b", "seed", "method"),
+        sweepable=("n", "P", "b", "seed", "method", "pivoting"),
+    )
+)
+
+SPEC_STABILITY_PRRP = register(
+    ExperimentSpec(
+        name="stability_prrp",
+        title="Pivoting-strategy comparison: pp vs ca vs ca_prrp growth at one (n, P, b)",
+        runner=pivoting_comparison,
+        params={"n": 1024, "P": 32, "b": 32, "seed": 0, "samples": 1},
+        quick={"n": 64, "P": 2, "b": 8},
+        columns=("n", "P", "b", "pivoting", "S", "gT", "tau_min", "tau_ave",
+                 "max_error", "seed"),
+        paper_ref="arXiv:1208.2451 (CALU_PRRP follow-up)",
+        sweepable=("n", "P", "b", "seed", "samples"),
+        # The runner factors with every strategy explicitly, so the ambient
+        # REPRO_PIVOTING knob cannot change its rows.
+        ambient_invariant=("pivoting",),
     )
 )
 

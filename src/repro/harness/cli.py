@@ -65,27 +65,40 @@ def _parse_grid(items: Optional[Sequence[str]]) -> Dict[str, List[object]]:
 
 
 def _apply_context(args: argparse.Namespace) -> None:
-    """Apply --engine / --tier process-wide so every runner sees them."""
+    """Apply --engine / --tier / --pivoting process-wide so every runner sees them."""
     if getattr(args, "engine", None):
         os.environ["REPRO_VMPI_ENGINE"] = args.engine
     if getattr(args, "tier", None):
         from ..kernels.tiers import set_kernel_tier
 
         set_kernel_tier(args.tier)
+    if getattr(args, "pivoting", None):
+        from ..core.strategies import set_pivoting
+
+        try:
+            set_pivoting(args.pivoting)
+        except ValueError as exc:
+            raise SystemExit(f"error: {exc}")
 
 
 def _with_engine(
-    spec: ExperimentSpec, overrides: Dict[str, object], args: argparse.Namespace
+    spec: ExperimentSpec,
+    overrides: Dict[str, object],
+    args: argparse.Namespace,
+    exclude: Sequence[str] = (),
 ) -> Dict[str, object]:
-    """Inject --engine into specs that take ``engine`` as a parameter.
+    """Inject --engine / --pivoting into specs that take them as parameters.
 
-    Such runners use their parameter, not the ambient ``REPRO_VMPI_ENGINE``,
-    so the flag must flow in as an override to take precedence (an explicit
-    ``--set engine=...`` still wins).
+    Such runners use their parameter, not the ambient ``REPRO_VMPI_ENGINE`` /
+    ``REPRO_PIVOTING``, so the flags must flow in as overrides to take
+    precedence (an explicit ``--set engine=...`` / ``--set pivoting=...``
+    still wins).  ``exclude`` names parameters that must not be injected
+    (sweep axes already spanning that knob).
     """
-    engine = getattr(args, "engine", None)
-    if engine and "engine" in spec.params and "engine" not in overrides:
-        return {**overrides, "engine": engine}
+    for flag in ("engine", "pivoting"):
+        value = getattr(args, flag, None)
+        if value and flag in spec.params and flag not in overrides and flag not in exclude:
+            overrides = {**overrides, flag: value}
     return overrides
 
 
@@ -117,6 +130,7 @@ def _status_line(fetch: FetchResult, spec: ExperimentSpec) -> str:
     return (
         f"{spec.name}{ref}: {fetch.artifact['n_rows']} rows ({source}; "
         f"tier={fetch.artifact['kernel_tier']}, engine={fetch.artifact['engine']}, "
+        f"pivoting={fetch.artifact.get('pivoting', 'ca')}, "
         f"key={fetch.artifact['key'][:12]})"
     )
 
@@ -182,8 +196,7 @@ def cmd_sweep(args: argparse.Namespace) -> int:
     if not grid:
         raise SystemExit("error: sweep requires at least one --param axis")
     base = _parse_set(args.set)
-    if "engine" not in grid:
-        base = _with_engine(spec, base, args)
+    base = _with_engine(spec, base, args, exclude=list(grid))
 
     def progress(job: SweepJob) -> None:
         state = "cached" if job.cached else (
@@ -242,6 +255,7 @@ def cmd_report(args: argparse.Namespace) -> int:
         title = (
             f"{artifact['spec']} ({artifact.get('paper_ref') or 'scenario'}; "
             f"tier={artifact['kernel_tier']}, engine={artifact['engine']}, "
+            f"pivoting={artifact.get('pivoting', 'ca')}, "
             f"key={artifact['key'][:12]}, {artifact['created_at']})"
         )
         _emit(artifact["rows"], args, columns=columns, title=title)
@@ -267,6 +281,8 @@ def build_parser() -> argparse.ArgumentParser:
                            help="virtual-MPI engine (event|threaded)")
             p.add_argument("--tier", default=None,
                            help="kernel tier (auto|reference|lapack)")
+            p.add_argument("--pivoting", default=None,
+                           help="pivoting strategy (pp|ca|ca_prrp)")
             p.add_argument("--quick", action="store_true",
                            help="scaled-down sizes for smoke runs")
             p.add_argument("--force", action="store_true",

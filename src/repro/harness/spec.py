@@ -83,6 +83,13 @@ class ExperimentSpec:
     sweepable:
         Parameter names that make sense as sweep axes (purely advisory,
         shown by ``repro list``; any param may be swept).
+    ambient_invariant:
+        Names of ambient context knobs (currently ``"pivoting"``) whose
+        process-wide setting provably does not change this spec's rows —
+        e.g. a runner that sets the knob explicitly for every value it
+        compares.  The store then keys and records the knob's *default*
+        instead of the ambient value, so flipping the environment neither
+        mislabels the artifact nor causes a spurious cache miss.
     """
 
     name: str
@@ -93,6 +100,7 @@ class ExperimentSpec:
     columns: Optional[Tuple[str, ...]] = None
     paper_ref: str = ""
     sweepable: Tuple[str, ...] = ()
+    ambient_invariant: Tuple[str, ...] = ()
 
     def resolve_params(
         self, overrides: Optional[Mapping[str, object]] = None, quick: bool = False

@@ -1,12 +1,12 @@
 """Content-addressed result store for experiment artifacts.
 
 Each run of a registered spec is identified by the SHA-256 of its *context*:
-the spec name, the fully resolved parameters, the resolved kernel tier and
-the virtual-MPI engine.  The artifact — rows plus metadata — is written as
-JSON under ``results/<spec>/<spec>-<key12>.json`` (relocatable via the
-``REPRO_RESULTS_DIR`` environment variable or an explicit root), so a re-run
-with the same context is a cache hit that loads bit-identical rows, and
-``--force`` recomputes in place.
+the spec name, the fully resolved parameters, the resolved kernel tier, the
+virtual-MPI engine and the resolved pivoting strategy.  The artifact — rows
+plus metadata — is written as JSON under ``results/<spec>/<spec>-<key12>.json``
+(relocatable via the ``REPRO_RESULTS_DIR`` environment variable or an
+explicit root), so a re-run with the same context is a cache hit that loads
+bit-identical rows, and ``--force`` recomputes in place.
 
 JSON round-trips Python floats exactly (shortest-repr), so cached rows are
 bit-for-bit the rows the runner produced; the test suite enforces this.
@@ -50,14 +50,22 @@ def context_key(
     params: Mapping[str, object],
     kernel_tier: str,
     engine: str,
+    pivoting: str = "ca",
 ) -> str:
-    """SHA-256 content address of one run context (hex digest)."""
+    """SHA-256 content address of one run context (hex digest).
+
+    ``pivoting`` is part of the context because the process-wide strategy
+    knob (``REPRO_PIVOTING`` / ``--pivoting``) changes what every
+    CALU-driven runner computes — two runs that differ only in pivoting must
+    never share an artifact.
+    """
     canonical = json.dumps(
         {
             "spec": spec_name,
             "params": jsonify(dict(params)),
             "kernel_tier": kernel_tier,
             "engine": engine,
+            "pivoting": pivoting,
         },
         sort_keys=True,
         separators=(",", ":"),
@@ -94,21 +102,33 @@ class ResultStore:
         overrides: Optional[Mapping[str, object]] = None,
         quick: bool = False,
         engine: Optional[str] = None,
-    ) -> Tuple[Dict[str, object], str, str, str]:
-        """Resolve (params, kernel_tier, engine, key) for one run.
+    ) -> Tuple[Dict[str, object], str, str, str, str]:
+        """Resolve (params, kernel_tier, engine, pivoting, key) for one run.
 
-        Specs with an explicit ``engine`` parameter pass it straight to their
-        runner, so that value — not the ambient ``REPRO_VMPI_ENGINE``
-        resolution — is what the run actually uses and what gets keyed and
-        recorded.
+        Specs with an explicit ``engine`` (or ``pivoting``) parameter pass it
+        straight to their runner, so that value — not the ambient
+        ``REPRO_VMPI_ENGINE`` / ``REPRO_PIVOTING`` resolution — is what the
+        run actually uses and what gets keyed and recorded.
         """
+        from ..core.strategies import DEFAULT_STRATEGY, resolve_pivoting
+
         params = spec.resolve_params(overrides, quick=quick)
         tier = resolve_tier()
         if "engine" in params:
             eng = str(params["engine"])
         else:
             eng = resolved_engine(engine)
-        return params, tier, eng, context_key(spec.name, params, tier, eng)
+        if "pivoting" in params:
+            piv = str(params["pivoting"])
+        elif "pivoting" in spec.ambient_invariant:
+            # The runner provably ignores the ambient strategy (it sets the
+            # knob explicitly for everything it computes), so key and record
+            # the default rather than mislabeling the artifact and missing
+            # the cache whenever the environment changes.
+            piv = DEFAULT_STRATEGY
+        else:
+            piv = resolve_pivoting()
+        return params, tier, eng, piv, context_key(spec.name, params, tier, eng, piv)
 
     # -------------------------------------------------------------- load/save
     def load(self, path: Path) -> Optional[Dict[str, object]]:
@@ -149,7 +169,7 @@ class ResultStore:
         ``force`` recomputes and overwrites; ``use_cache=False`` bypasses the
         store entirely (nothing read, nothing written).
         """
-        params, tier, eng, key = self.run_context(
+        params, tier, eng, piv, key = self.run_context(
             spec, overrides, quick=quick, engine=engine
         )
         path = self.path_for(spec.name, key)
@@ -170,6 +190,7 @@ class ResultStore:
             "params": jsonify(params),
             "kernel_tier": tier,
             "engine": eng,
+            "pivoting": piv,
             "created_at": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
             "elapsed_s": elapsed,
             "n_rows": len(rows),
@@ -196,8 +217,16 @@ class ResultStore:
                 continue
             for path in sorted(directory.glob("*.json")):
                 artifact = self.load(path)
-                if artifact is not None:
-                    found.append((path.stat().st_mtime, artifact))
+                if artifact is None:
+                    continue
+                try:
+                    mtime = path.stat().st_mtime
+                except OSError:
+                    # The artifact vanished between load and stat (another
+                    # process pruned the store mid-listing) — skip it rather
+                    # than crash the `repro report` listing.
+                    continue
+                found.append((mtime, artifact))
         found.sort(key=lambda item: item[0], reverse=True)
         return [artifact for _, artifact in found]
 

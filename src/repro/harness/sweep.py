@@ -32,11 +32,18 @@ ProgressFn = Callable[["SweepJob"], None]
 
 @dataclass
 class SweepJob:
-    """One grid point of a sweep, with its outcome once finished."""
+    """One grid point of a sweep, with its outcome once finished.
+
+    ``overrides`` is the full parameter set handed to the store (fixed
+    ``base`` overrides merged with this job's grid point); ``grid_point``
+    keeps the grid axes alone, for progress lines and reports that only want
+    what varies.
+    """
 
     index: int
     total: int
     overrides: Dict[str, object]
+    grid_point: Dict[str, object] = field(default_factory=dict)
     result: Optional[FetchResult] = None
     error: Optional[BaseException] = None
     elapsed_s: float = 0.0
@@ -52,6 +59,7 @@ class SweepResult:
 
     spec: ExperimentSpec
     jobs: List[SweepJob] = field(default_factory=list)
+    base: Dict[str, object] = field(default_factory=dict)
     max_in_flight: int = 0
     elapsed_s: float = 0.0
 
@@ -68,20 +76,25 @@ class SweepResult:
         return [j for j in self.jobs if j.error is not None]
 
     def rows(self, tag_params: bool = True) -> Rows:
-        """All rows of all successful jobs, each tagged with its grid point.
+        """All rows of all successful jobs, each tagged with its parameters.
 
-        Grid parameters are prepended under a ``param:`` prefix when they do
-        not already appear as a row column, so sweep output stays
-        self-describing without clobbering experiment columns.
+        Both the fixed ``base`` overrides and the job's grid point are
+        prepended under a ``param:`` prefix when they do not already appear
+        as a row column, so sweep CSV/JSON output stays self-describing —
+        a fixed ``--set`` override is part of every row's context just as
+        much as a swept axis is — without clobbering experiment columns.
         """
         combined: Rows = []
         for job in self.jobs:
             if job.result is None:
                 continue
+            # base first, then the job's own overrides (which win on clashes
+            # and already include base when the job came from run_sweep).
+            params = {**self.base, **job.overrides}
             for row in job.result.rows:
                 if tag_params:
                     tagged: Dict[str, object] = {}
-                    for key, value in job.overrides.items():
+                    for key, value in params.items():
                         if key not in row:
                             tagged[f"param:{key}"] = value
                     tagged.update(row)
@@ -125,13 +138,18 @@ def run_sweep(
     combos = expand_grid(grid)
     total = len(combos)
     sweep_jobs = [
-        SweepJob(index=i, total=total, overrides={**(base or {}), **combo})
+        SweepJob(
+            index=i,
+            total=total,
+            overrides={**(base or {}), **combo},
+            grid_point=dict(combo),
+        )
         for i, combo in enumerate(combos)
     ]
 
     lock = threading.Lock()
     in_flight = 0
-    result = SweepResult(spec=spec)
+    result = SweepResult(spec=spec, base=dict(base or {}))
     result.jobs = sweep_jobs
 
     def run_one(job: SweepJob) -> None:

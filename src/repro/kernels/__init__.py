@@ -23,6 +23,14 @@ from .pivoting import (
     perm_to_matrix,
 )
 from .rgetf2 import rgetf2
+from .rrqr import (
+    DEFAULT_TAU,
+    PRRPPanel,
+    RRQRResult,
+    prrp_panel,
+    rrqr,
+    select_rows_rrqr,
+)
 from .tiers import (
     available_tiers,
     get_kernel_tier,
@@ -33,6 +41,12 @@ from .tiers import (
 from .trsm import trsm_lower_unit, trsm_right_upper, trsm_upper
 
 __all__ = [
+    "rrqr",
+    "select_rows_rrqr",
+    "prrp_panel",
+    "RRQRResult",
+    "PRRPPanel",
+    "DEFAULT_TAU",
     "FlopCounter",
     "FlopFormulas",
     "LUResult",

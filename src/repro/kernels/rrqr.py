@@ -1,0 +1,325 @@
+"""Strong rank-revealing QR: the panel selection kernel of CALU_PRRP.
+
+Khabou, Demmel, Grigori and Gu ("LU factorization with panel rank revealing
+pivoting and its communication avoiding version", arXiv:1208.2451) replace the
+partial-pivoting selection inside the ca-pivoting tournament with a *strong
+rank-revealing QR* (Gu-Eisenstat) of the transposed block: to pick ``b`` pivot
+rows of an ``m x b`` block ``W``, factor
+
+    W^T P  =  Q [R11 R12],        P a column permutation of W^T,
+
+where the strong-RRQR column threshold ``tau`` guarantees
+
+    max |R11^{-1} R12|  <=  tau.
+
+The selected columns of ``W^T`` are rows of ``W``; writing ``P^T W = [W1; W2]``
+(``W1`` the selected rows) gives ``W1 = (Q R11)^T`` and
+
+    L21 = W2 W1^{-1} = W2 (Q R11)^{-T} = (R11^{-1} R12)^T,
+
+so every multiplier of the panel elimination is bounded by ``tau`` — the bound
+behind PRRP's ``(1 + 2b)^(n/b)`` worst-case growth, versus ``2^(n-1)`` for
+partial pivoting and ``2^(n(log2 P + 1))``-ish for plain ca-pivoting.
+
+This module provides the factorization (:func:`rrqr`), the row-selection
+wrapper the tournament uses (:func:`select_rows_rrqr`) and the full panel form
+(:func:`prrp_panel`) with ``L21 = A21 (Q R11)^{-1}`` available directly from
+the interaction matrix, no triangular solve against the panel required.
+
+Everything here is plain NumPy (reference arithmetic, deterministic
+tie-breaking towards the lowest index) so the selection is reproducible
+bit-for-bit across kernel tiers and execution engines.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+import numpy as np
+
+from .flops import FlopCounter
+
+#: Default strong-RRQR column threshold.  ``tau >= 1`` is required for the
+#: swap loop to terminate; the Khabou et al. experiments use a small constant
+#: (their ``f``); 2.0 keeps every PRRP multiplier at most 2 in magnitude.
+DEFAULT_TAU = 2.0
+
+#: Hard cap on Gu-Eisenstat strengthening swaps (each swap grows
+#: ``|det(R11)|`` by at least ``tau``, so ``~n log(kappa)/log(tau)`` bounds the
+#: count; in practice QR-with-column-pivoting already satisfies the threshold
+#: and zero swaps are performed).
+MAX_SWAPS_PER_COLUMN = 8
+
+
+@dataclass
+class RRQRResult:
+    """A (strong) rank-revealing QR factorization of ``A``.
+
+    With the default ``k = min(m, n)`` the factorization is complete:
+    ``A[:, perm] = Q @ R`` exactly.  With a smaller requested ``k`` only the
+    first ``k`` reflector steps run, so the result is *partial*: the selected
+    columns are still exact (``A[:, perm[:k]] = Q @ R[:, :k]``), while the
+    trailing columns of ``R`` hold their projection onto ``range(Q)`` only —
+    ``interaction`` is then the projected interaction matrix, which is the
+    bound quantity of strong RRQR only when ``k >= rank(A)``.
+
+    Attributes
+    ----------
+    Q:
+        ``m x k`` matrix with orthonormal columns.
+    R:
+        ``k x n`` upper-triangular (trapezoidal) factor.
+    perm:
+        Column permutation (global indices into the original columns); the
+        first ``k`` entries are the selected columns in selection order.
+    k:
+        Number of factored columns.
+    swaps:
+        Number of Gu-Eisenstat strengthening swaps performed beyond plain QR
+        with column pivoting (0 in the overwhelmingly common case).
+    interaction:
+        ``R11^{-1} R12`` (``k x (n-k)``), the matrix the strong-RRQR
+        threshold bounds; ``None`` when ``n == k`` or ``R11`` is singular.
+    """
+
+    Q: np.ndarray
+    R: np.ndarray
+    perm: np.ndarray
+    k: int
+    swaps: int
+    interaction: Optional[np.ndarray]
+
+
+def _householder_qr(
+    A: np.ndarray, k: int, flops: Optional[FlopCounter], pivot: bool = True
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Householder QR of ``A``, optionally with column pivoting (Businger-Golub).
+
+    Returns ``(Q, R, perm)`` with ``A[:, perm] = Q @ R`` and (when ``pivot``)
+    the first ``k`` columns chosen greedily by trailing norm.  Ties break
+    towards the lowest column index (``np.argmax`` semantics), which keeps the
+    selection deterministic and matches the tie-breaking of the
+    partial-pivoting kernels.
+    """
+    m, n = A.shape
+    R = np.array(A, dtype=np.float64)
+    Q = np.eye(m, dtype=np.float64)
+    perm = np.arange(n, dtype=np.int64)
+
+    for j in range(k):
+        if pivot:
+            # Greedy pivot: trailing column with the largest norm below row j.
+            tails = R[j:, j:]
+            norms2 = np.einsum("ij,ij->j", tails, tails)
+            if flops is not None:
+                flops.add_muladds(2.0 * tails.size)
+                flops.add_comparisons(float(max(norms2.size - 1, 0)))
+            p = j + int(np.argmax(norms2))
+            if p != j:
+                R[:, [j, p]] = R[:, [p, j]]
+                perm[[j, p]] = perm[[p, j]]
+            col_norm2 = float(norms2[p - j])
+        else:
+            col_norm2 = float(R[j:, j] @ R[j:, j])
+            if flops is not None:
+                flops.add_muladds(2.0 * (m - j))
+        if col_norm2 == 0.0:
+            if pivot:
+                # Remaining columns are exactly zero: R is already triangular.
+                break
+            continue
+        # Householder reflector annihilating R[j+1:, j].
+        x = R[j:, j]
+        alpha = -np.sign(x[0]) * np.sqrt(col_norm2) if x[0] != 0.0 else -np.sqrt(
+            col_norm2
+        )
+        v = x.copy()
+        v[0] -= alpha
+        vnorm2 = float(v @ v)
+        if vnorm2 > 0.0:
+            w = (2.0 / vnorm2) * (v @ R[j:, j:])
+            R[j:, j:] -= np.outer(v, w)
+            wq = (2.0 / vnorm2) * (Q[:, j:] @ v)
+            Q[:, j:] -= np.outer(wq, v)
+            if flops is not None:
+                # Per reflector: v@v, the two matrix-vector products AND the
+                # two rank-1 updates (2 ops per touched element each), plus
+                # the two scalings by 2/vnorm2.
+                flops.add_muladds(
+                    2.0 * (m - j)
+                    + 4.0 * (m - j) * (n - j)
+                    + 4.0 * m * (m - j)
+                    + (n - j)
+                    + m
+                )
+                flops.add_divides(1.0)
+        R[j, j] = alpha
+        R[j + 1 :, j] = 0.0
+    return Q[:, :k], R[:k, :], perm
+
+
+def _interaction(R: np.ndarray, k: int) -> Optional[np.ndarray]:
+    """``R11^{-1} R12`` (None when there is no R12 or R11 is singular)."""
+    if R.shape[1] <= k:
+        return None
+    R11 = R[:k, :k]
+    if np.any(np.diagonal(R11) == 0.0):
+        return None
+    from scipy.linalg import solve_triangular
+
+    return solve_triangular(R11, R[:k, k:], lower=False)
+
+
+def rrqr(
+    A: np.ndarray,
+    k: Optional[int] = None,
+    tau: float = DEFAULT_TAU,
+    flops: Optional[FlopCounter] = None,
+) -> RRQRResult:
+    """Strong rank-revealing QR of ``A`` with column threshold ``tau``.
+
+    First a QR with column pivoting, then Gu-Eisenstat strengthening: while
+    some entry of ``R11^{-1} R12`` exceeds ``tau`` in magnitude, the offending
+    column pair is swapped and the factorization recomputed (each swap grows
+    ``|det(R11)|`` by at least that entry's magnitude ``> tau >= 1``, so the
+    loop terminates).  With ``tau >= 1`` QR-with-column-pivoting almost always
+    satisfies the bound outright and the loop body never runs.
+
+    Parameters
+    ----------
+    A:
+        ``m x n`` real matrix.
+    k:
+        Number of columns to reveal (default ``min(m, n)``).
+    tau:
+        Column threshold (``>= 1``).
+    flops:
+        Optional flop counter (muladds for reflections/norms, comparisons for
+        the pivot searches).
+    """
+    A = np.asarray(A, dtype=np.float64)
+    if A.ndim != 2:
+        raise ValueError("rrqr expects a 2-D matrix")
+    if tau < 1.0:
+        raise ValueError(f"strong-RRQR threshold tau must be >= 1, got {tau}")
+    m, n = A.shape
+    k = min(m, n) if k is None else min(k, m, n)
+
+    Q, R, perm = _householder_qr(A, k, flops, pivot=True)
+    swaps = 0
+    max_swaps = MAX_SWAPS_PER_COLUMN * max(k, 1)
+    inter = _interaction(R, k)
+    while inter is not None and swaps < max_swaps:
+        i, j = np.unravel_index(int(np.argmax(np.abs(inter))), inter.shape)
+        if abs(inter[i, j]) <= tau:
+            break
+        # Swap the weak selected column with the strong rejected one and
+        # refactor the permuted matrix without re-pivoting (blocks here are
+        # small — b x 2b at most in the tournament — so a fresh QR is cheaper
+        # than the textbook update formulas and stays bit-deterministic).
+        perm[[i, k + j]] = perm[[k + j, i]]
+        Q, R, _ = _householder_qr(A[:, perm], k, flops, pivot=False)
+        swaps += 1
+        inter = _interaction(R, k)
+    return RRQRResult(Q=Q, R=R, perm=perm, k=k, swaps=swaps, interaction=inter)
+
+
+def select_rows_rrqr(
+    block: np.ndarray,
+    nselect: int,
+    tau: float = DEFAULT_TAU,
+    flops: Optional[FlopCounter] = None,
+) -> np.ndarray:
+    """Indices of up to ``nselect`` pivot rows of ``block``, by strong RRQR.
+
+    The selection kernel of CALU_PRRP's tournament: rows of ``block`` are
+    columns of ``block.T``, so a strong RRQR of the transpose picks the rows
+    whose span best represents the block — with every discarded row within
+    ``tau`` of the selected ones in the ``L21`` sense.  Returns local row
+    indices in selection order (the order they must occupy at the top of the
+    panel).
+    """
+    block = np.asarray(block, dtype=np.float64)
+    if block.ndim != 2:
+        raise ValueError("select_rows_rrqr expects a 2-D block")
+    k = min(nselect, block.shape[0])
+    if k == 0:
+        return np.empty(0, dtype=np.int64)
+    res = rrqr(block.T, k=k, tau=tau, flops=flops)
+    return np.asarray(res.perm[:k], dtype=np.int64)
+
+
+@dataclass
+class PRRPPanel:
+    """The LU_PRRP panel form of an ``m x b`` block ``W``.
+
+    ``W[perm] = [W1; W2]`` with ``W2 = L21 @ W1``: the selected rows ``W1``
+    carry the panel, every eliminated row is a ``tau``-bounded combination of
+    them.  ``L21`` is read straight off the strong RRQR of ``W^T``
+    (``L21 = W2 W1^{-1} = A21 (Q R11)^{-1}`` in the notation of the paper,
+    i.e. the transposed interaction matrix) — no triangular solve against the
+    panel is performed.
+    """
+
+    perm: np.ndarray
+    W1: np.ndarray
+    L21: np.ndarray
+    tau: float
+    swaps: int
+
+    def reconstruct(self) -> np.ndarray:
+        """``[W1; L21 @ W1]`` — equals ``W[perm]`` up to rounding."""
+        return np.vstack([self.W1, self.L21 @ self.W1])
+
+
+def prrp_panel(
+    W: np.ndarray,
+    b: Optional[int] = None,
+    tau: float = DEFAULT_TAU,
+    flops: Optional[FlopCounter] = None,
+) -> PRRPPanel:
+    """Factor a panel in the LU_PRRP form: select rows, read off ``L21``.
+
+    Parameters
+    ----------
+    W:
+        The ``m x b`` panel.
+    b:
+        Number of rows to select — the panel width (the default), or at
+        least ``min(m, width)``.  Selecting *fewer* rows than the panel has
+        columns cannot represent the eliminated rows exactly (``W2`` then
+        generally lies outside the row span of ``W1``), so it is rejected.
+    tau:
+        Strong-RRQR column threshold; guarantees ``max |L21| <= tau`` whenever
+        the selected block is nonsingular.
+    """
+    W = np.asarray(W, dtype=np.float64)
+    m, width = W.shape
+    if b is not None and b < min(m, width):
+        raise ValueError(
+            f"prrp_panel must select at least min(m, width) = {min(m, width)} "
+            f"rows of a {m} x {width} panel, got b={b}; a narrower selection "
+            "cannot factor the panel (use select_rows_rrqr for selection only)"
+        )
+    k = min(b if b is not None else width, m)
+    res = rrqr(W.T, k=k, tau=tau, flops=flops)
+    selected = np.asarray(res.perm[:k], dtype=np.int64)
+    mask = np.ones(m, dtype=bool)
+    mask[selected] = False
+    rest = np.nonzero(mask)[0]
+    perm = np.concatenate([selected, rest]).astype(np.int64)
+    # The interaction columns are ordered like res.perm[k:], which is not in
+    # general the ascending "rest" order the panel permutation uses — reorder.
+    if res.interaction is None:
+        # Rank-deficient selected block: fall back to a least-squares L21
+        # (exact whenever the eliminated rows lie in the span of W1).
+        W1 = W[selected, :]
+        L21 = np.linalg.lstsq(W1.T, W[rest, :].T, rcond=None)[0].T if rest.size else (
+            np.zeros((0, k))
+        )
+    else:
+        order = {int(g): i for i, g in enumerate(res.perm[k:])}
+        take = np.asarray([order[int(g)] for g in rest], dtype=np.int64)
+        L21 = res.interaction.T[take, :]
+    return PRRPPanel(perm=perm, W1=W[selected, :], L21=L21, tau=tau, swaps=res.swaps)

@@ -2,11 +2,12 @@
 
 from .driver import DistributedLUResult, block_right_looking_rank, run_block_lu
 from .pcalu import make_calu_panel, pcalu
-from .ptslu import PTSLUResult, ptslu, ptslu_rank
+from .ptslu import PTSLUResult, pp_panel_rank, ptslu, ptslu_rank
 
 __all__ = [
     "ptslu",
     "ptslu_rank",
+    "pp_panel_rank",
     "PTSLUResult",
     "pcalu",
     "make_calu_panel",

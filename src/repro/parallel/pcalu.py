@@ -14,6 +14,7 @@ from typing import Callable, List, Optional, Tuple, Union
 
 import numpy as np
 
+from ..core.strategies import get_strategy, resolve_pivoting
 from ..distsim.engine import ExecutionEngine
 from ..distsim.vmpi import Communicator
 from ..kernels.flops import FlopCounter
@@ -29,6 +30,7 @@ from .ptslu import ptslu_rank
 def make_calu_panel(
     local_kernel: str = "getf2",
     kernel_tier: Optional[str] = None,
+    selector: str = "getf2",
 ) -> Callable[..., List[Tuple[int, int]]]:
     """Create the CALU panel-factorization callback for the shared driver.
 
@@ -42,6 +44,10 @@ def make_calu_panel(
         Kernel tier for the leaf factorizations (None: process-wide
         default).  Tournament merges always run reference-tier arithmetic,
         so the simulated factors do not depend on the tier.
+    selector:
+        Tournament selection kernel: ``"getf2"`` (partial-pivoting rows,
+        CALU) or ``"rrqr"`` (strong-RRQR rows, CALU_PRRP) — see
+        :mod:`repro.core.strategies`.
     """
 
     def panel(
@@ -76,6 +82,7 @@ def make_calu_panel(
             tag=(tag, "tslu"),
             compute_L=False,
             kernel_tier=kernel_tier,
+            selector=selector,
         )
         winners = res["winners"]
         U = np.asarray(res["U"], dtype=np.float64)
@@ -117,23 +124,37 @@ def pcalu(
     machine: Optional[MachineModel] = None,
     engine: Union[None, str, ExecutionEngine] = None,
     kernel_tier: Optional[str] = None,
+    pivoting: Optional[str] = None,
 ) -> DistributedLUResult:
     """Distributed CALU of ``A`` over ``grid`` with block size ``block_size``.
 
     ``engine`` selects the virtual-MPI execution backend ("threaded",
     "event", or ``None`` for the process-wide default); ``kernel_tier``
     selects the numerical tier for the rank-local leaf factorizations (see
-    :mod:`repro.kernels.tiers`).  Returns the gathered factors, the pivot
-    sequence and the per-rank communication trace (see
+    :mod:`repro.kernels.tiers`); ``pivoting`` selects the panel pivoting
+    strategy (``"ca"``, ``"ca_prrp"`` or ``"pp"`` — with ``"pp"`` the panel
+    is ScaLAPACK's column-by-column PDGETF2 and the run is exactly
+    :func:`repro.scalapack.pdgetrf.pdgetrf`).  Returns the gathered factors,
+    the pivot sequence and the per-rank communication trace (see
     :class:`~repro.parallel.driver.DistributedLUResult`).
     """
+    strategy = get_strategy(resolve_pivoting(pivoting))
+    if strategy.tournament:
+        def panel_factory() -> Callable[..., List[Tuple[int, int]]]:
+            return make_calu_panel(
+                local_kernel=local_kernel,
+                kernel_tier=kernel_tier,
+                selector=strategy.selector,
+            )
+    else:
+        from ..scalapack.pdgetf2 import make_pdgetf2_panel
+
+        panel_factory = make_pdgetf2_panel
     return run_block_lu(
         A,
         grid,
         block_size,
-        panel_factory=lambda: make_calu_panel(
-            local_kernel=local_kernel, kernel_tier=kernel_tier
-        ),
+        panel_factory=panel_factory,
         machine=machine,
         engine=engine,
     )

@@ -25,8 +25,15 @@ from typing import List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
-from ..core.tournament import CandidateSet, local_candidates, merge_candidates
-from ..distsim.collectives import allreduce
+from ..core.strategies import get_strategy, resolve_pivoting
+from ..core.tournament import (
+    CandidateSet,
+    local_candidates,
+    local_candidates_rrqr,
+    merge_candidates,
+    merge_candidates_rrqr,
+)
+from ..distsim.collectives import allreduce, broadcast
 from ..distsim.engine import ExecutionEngine
 from ..distsim.tracing import RunTrace
 from ..distsim.vmpi import Communicator, run_spmd
@@ -71,6 +78,7 @@ def _tournament_allreduce(
     group: Sequence[int],
     channel: str = "col",
     tag: str = "tslu",
+    selector: str = "getf2",
 ) -> CandidateSet:
     """Butterfly all-reduction whose operator is the pivot tournament merge.
 
@@ -78,12 +86,15 @@ def _tournament_allreduce(
     merge arithmetic is charged to the calling rank (this is the redundant
     computation the paper trades for fewer messages).  The payload exchanged
     at each level is the pair (row indices, candidate block) — ``b + b^2``
-    words, as in the real algorithm.
+    words, as in the real algorithm.  ``selector`` picks the merge operator:
+    partial-pivoting rows (``"getf2"``, CALU) or strong-RRQR rows
+    (``"rrqr"``, CALU_PRRP) — the communication pattern is identical.
     """
     scratch = FlopCounter()
+    merge_fn = merge_candidates_rrqr if selector == "rrqr" else merge_candidates
 
     def op(x: Tuple[np.ndarray, np.ndarray], y: Tuple[np.ndarray, np.ndarray]):
-        merged, _ = merge_candidates(
+        merged, _ = merge_fn(
             CandidateSet(rows=x[0], block=x[1]),
             CandidateSet(rows=y[0], block=y[1]),
             b,
@@ -110,6 +121,7 @@ def ptslu_rank(
     compute_L: bool = True,
     kernel_tier: Optional[str] = None,
     precomputed_candidate: Optional[Tuple[CandidateSet, FlopCounter]] = None,
+    selector: str = "getf2",
 ) -> dict:
     """The SPMD body of TSLU executed by one rank.
 
@@ -142,6 +154,13 @@ def ptslu_rank(
         flop counts are exactly what the local factorization would produce,
         so the trace is unchanged; only the host-side Python overhead of
         ``P`` sequential leaf factorizations is gone.
+    selector:
+        Tournament selection kernel: ``"getf2"`` (partial-pivoting rows, the
+        paper's CALU) or ``"rrqr"`` (strong-RRQR rows, CALU_PRRP).  With
+        ``"rrqr"`` the winner block is additionally re-ordered by a redundant
+        rank-local LU with partial pivoting before the no-pivoting second
+        phase — a permutation inside the already-chosen rows, identical on
+        every rank and free of communication.
 
     Returns
     -------
@@ -154,6 +173,14 @@ def ptslu_rank(
     if precomputed_candidate is not None:
         candidate, leaf_flops = precomputed_candidate
         comm.charge_counter(leaf_flops)
+    elif selector == "rrqr":
+        candidate = local_candidates_rrqr(
+            np.asarray(local_rows, dtype=np.int64),
+            np.asarray(local_block, dtype=np.float64),
+            b,
+            flops=scratch,
+        )
+        comm.charge_counter(scratch)
     else:
         candidate = local_candidates(
             np.asarray(local_rows, dtype=np.int64),
@@ -166,17 +193,31 @@ def ptslu_rank(
         comm.charge_counter(scratch)
 
     if len(group) > 1:
-        winner = _tournament_allreduce(comm, candidate, b, group, channel=channel, tag=tag)
+        winner = _tournament_allreduce(
+            comm, candidate, b, group, channel=channel, tag=tag, selector=selector
+        )
     else:
         winner = candidate
 
     # Second phase of ca-pivoting: factor the winning b x b block *without*
     # pivoting (performed redundantly by every participant, which is exactly
-    # the redundant arithmetic the paper trades for fewer messages).
-    from ..kernels.getf2 import getf2_nopivot
+    # the redundant arithmetic the paper trades for fewer messages).  The
+    # RRQR selection order is not an elimination order, so CALU_PRRP first
+    # re-orders the winners by a (redundant, deterministic, local) partial
+    # pivoting of the winner block.
+    from ..kernels.getf2 import getf2, getf2_nopivot
 
     k = min(b, winner.rows.shape[0])
-    packed = getf2_nopivot(winner.block[:k, :], flops=scratch)
+    if selector == "rrqr":
+        res = getf2(winner.block[:k, :], flops=scratch, kernel_tier="reference")
+        order = res.perm[:k]
+        winner = CandidateSet(
+            rows=np.concatenate([winner.rows[:k][order], winner.rows[k:]]),
+            block=np.vstack([winner.block[:k][order], winner.block[k:]]),
+        )
+        packed = res.lu[:k, :]
+    else:
+        packed = getf2_nopivot(winner.block[:k, :], flops=scratch)
     comm.charge_counter(scratch)
     U = np.triu(packed)
     U11 = U[:, :k]
@@ -243,6 +284,115 @@ def _batched_leaf_candidates(
     return out
 
 
+def _pp_maxloc(a: Tuple, b: Tuple) -> Tuple:
+    """All-reduce operator for the distributed partial-pivoting panel.
+
+    Entries are ``(|value|, value, global_row, owner_rank, owner_local_row)``;
+    ties break towards the smallest *global* row index.  Sequential ``getf2``
+    scans rows in swap-permuted order instead (it physically swaps pivot rows
+    down), so on an exact magnitude tie the two can legitimately pick
+    different rows of equal value — the pivot sequences agree whenever the
+    column maximum is unique (always, for generic matrices).
+    """
+    if (a[0], -a[2]) >= (b[0], -b[2]):
+        return a
+    return b
+
+
+def pp_panel_rank(
+    comm: Communicator,
+    local_rows: np.ndarray,
+    local_block: np.ndarray,
+    b: int,
+    npivots: int,
+    group: Optional[Sequence[int]] = None,
+    channel: str = "col",
+    tag: str = "tslu-pp",
+) -> dict:
+    """Distributed *partial pivoting* panel factorization (one rank's body).
+
+    The communication baseline TSLU is measured against, on TSLU's own 1-D
+    row layout: partial pivoting is performed column by column — per column
+    one max-loc all-reduction picks the global pivot and one broadcast ships
+    the (eliminated) pivot row's trailing segment — i.e. ``~2 b log2 P``
+    messages per panel versus the tournament's ``log2 P``.  This is the
+    PDGETF2 pattern of :mod:`repro.scalapack.pdgetf2` transplanted to the
+    ``ptslu`` API, so the two pivoting strategies can be compared message for
+    message inside one driver.  Rows are never physically swapped (eliminated
+    rows are only *marked*), so on an exact magnitude tie the pivot row may
+    differ from sequential ``getf2``'s swap-ordered scan — see
+    :func:`_pp_maxloc`; for matrices with unique column maxima the pivot
+    sequence matches the sequential baseline.
+
+    Returns the same dict as :func:`ptslu_rank` (``winners``/``U``/``rows``/
+    ``L_local``).
+    """
+    group = list(group) if group is not None else list(range(comm.size))
+    rows = np.asarray(local_rows, dtype=np.int64)
+    W = np.array(local_block, dtype=np.float64)
+    chosen = np.zeros(rows.shape[0], dtype=bool)
+    pivot_step = np.full(rows.shape[0], -1, dtype=np.int64)
+    winners: List[int] = []
+    U = np.zeros((npivots, b))
+    L_local = np.zeros((rows.shape[0], npivots))
+    scratch = FlopCounter()
+
+    for jc in range(npivots):
+        # Local pivot candidate among the rows not yet eliminated.
+        active = np.nonzero(~chosen)[0]
+        if active.size:
+            vals = W[active, jc]
+            li = int(np.argmax(np.abs(vals)))
+            cand = (
+                float(abs(vals[li])),
+                float(vals[li]),
+                int(rows[active[li]]),
+                comm.rank,
+                int(active[li]),
+            )
+            comm.charge_flops(comparisons=float(active.size - 1))
+        else:
+            cand = (-1.0, 0.0, 1 << 60, -1, -1)
+        best = allreduce(
+            comm, cand, _pp_maxloc, group=group, tag=(tag, "amax", jc), channel=channel
+        )
+        _, _, grow, owner, owner_li = best
+        winners.append(int(grow))
+
+        # The owner broadcasts the pivot row's trailing segment (already
+        # updated by the previous eliminations) down the group.
+        if comm.rank == owner:
+            seg = W[owner_li, jc:].copy()
+            chosen[owner_li] = True
+            pivot_step[owner_li] = jc
+            L_local[owner_li, jc] = 1.0
+        else:
+            seg = None
+        seg = broadcast(
+            comm, seg, root=owner, group=group, tag=(tag, "prow", jc), channel=channel
+        )
+        U[jc, jc:] = seg
+
+        # Local elimination below the pivot.
+        remaining = np.nonzero(~chosen)[0]
+        if remaining.size and seg[0] != 0.0:
+            mult = W[remaining, jc] / seg[0]
+            L_local[remaining, jc] = mult
+            scratch.add_divides(float(remaining.size))
+            if jc + 1 < b:
+                W[remaining, jc + 1 :] -= np.outer(mult, seg[1:])
+                scratch.add_muladds(2.0 * remaining.size * (b - jc - 1))
+            comm.charge_counter(scratch)
+            scratch = FlopCounter()
+
+    return {
+        "winners": np.asarray(winners, dtype=np.int64),
+        "U": np.triu(U),
+        "rows": rows,
+        "L_local": L_local,
+    }
+
+
 def ptslu(
     A: np.ndarray,
     nprocs: int,
@@ -252,6 +402,7 @@ def ptslu(
     machine: Optional[MachineModel] = None,
     engine: Union[None, str, ExecutionEngine] = None,
     kernel_tier: Optional[str] = None,
+    pivoting: Optional[str] = None,
 ) -> PTSLUResult:
     """Driver: distribute an ``m x b`` panel, run SPMD TSLU, gather the factors.
 
@@ -279,6 +430,12 @@ def ptslu(
         factorizations of all ranks are precomputed in batched calls — the
         candidate sets and flop charges are identical, only the host-side
         overhead of ``P`` sequential Python-loop factorizations is removed.
+    pivoting:
+        Pivoting strategy (None: process-wide default, see
+        :mod:`repro.core.strategies`): ``"ca"`` (the paper's tournament),
+        ``"ca_prrp"`` (strong-RRQR tournament — same ``log2 P`` messages) or
+        ``"pp"`` (column-by-column partial pivoting, ``~2 b log2 P``
+        messages — the baseline of the paper's comparison).
 
     Returns
     -------
@@ -286,6 +443,7 @@ def ptslu(
     """
     A = np.asarray(A, dtype=np.float64)
     m, b = A.shape
+    strategy = get_strategy(resolve_pivoting(pivoting))
     if layout == "block":
         dist: object = Block1D(m, nprocs)
     elif layout == "block_cyclic":
@@ -296,20 +454,37 @@ def ptslu(
     rows_per_rank = [dist.rows_of(p) for p in range(nprocs)]
 
     precomputed: Optional[List[Tuple[CandidateSet, FlopCounter]]] = None
-    if resolve_tier(kernel_tier) != "reference" and local_kernel == "getf2":
+    if (
+        strategy.tournament
+        and strategy.selector == "getf2"
+        and resolve_tier(kernel_tier) != "reference"
+        and local_kernel == "getf2"
+    ):
         precomputed = _batched_leaf_candidates(rows_per_rank, A, b)
 
-    def rank_fn(comm: Communicator) -> dict:
-        rows = rows_per_rank[comm.rank]
-        return ptslu_rank(
-            comm,
-            rows,
-            A[rows, :],
-            b,
-            local_kernel=local_kernel,
-            kernel_tier=kernel_tier,
-            precomputed_candidate=None if precomputed is None else precomputed[comm.rank],
-        )
+    if strategy.tournament:
+
+        def rank_fn(comm: Communicator) -> dict:
+            rows = rows_per_rank[comm.rank]
+            return ptslu_rank(
+                comm,
+                rows,
+                A[rows, :],
+                b,
+                local_kernel=local_kernel,
+                kernel_tier=kernel_tier,
+                precomputed_candidate=(
+                    None if precomputed is None else precomputed[comm.rank]
+                ),
+                selector=strategy.selector,
+            )
+
+    else:
+        npivots = min(m, b)
+
+        def rank_fn(comm: Communicator) -> dict:
+            rows = rows_per_rank[comm.rank]
+            return pp_panel_rank(comm, rows, A[rows, :], b, npivots)
 
     trace = run_spmd(nprocs, rank_fn, machine=machine, engine=engine)
     results = trace.results

@@ -63,8 +63,18 @@ def stability_row_calu(
     b: int,
     rhs: Optional[np.ndarray] = None,
     schedule: str = "binary",
+    pivoting: Optional[str] = None,
 ) -> StabilityRow:
-    """Factor ``A`` with CALU(P, b), solve a system, and report the stability row."""
+    """Factor ``A`` with CALU(P, b), solve a system, and report the stability row.
+
+    ``pivoting`` selects the panel pivoting strategy (``"ca"`` default,
+    ``"ca_prrp"`` for the strong-RRQR tournament of Khabou et al., ``"pp"``
+    for partial-pivoting panels — see :mod:`repro.core.strategies`).  The
+    default rows are bit-identical to the seed Table 1 rows; non-default
+    strategies are reported under ``method="calu[<strategy>]"``.  For
+    ``"ca_prrp"`` the recorded growth is the block-form quantity of the PRRP
+    analysis (the growth its ``(1+2b)^(n/b)`` bound speaks about).
+    """
     A = np.asarray(A, dtype=np.float64)
     n = A.shape[0]
     rhs = A @ np.ones(n) if rhs is None else np.asarray(rhs, dtype=np.float64)
@@ -75,6 +85,7 @@ def stability_row_calu(
         schedule=schedule,
         track_growth=True,
         compute_thresholds=True,
+        pivoting=pivoting,
     )
     x = lu_solve(res.L, res.U, res.perm, rhs)
     stats: ThresholdStats = threshold_stats(res.threshold_history)
@@ -82,7 +93,7 @@ def stability_row_calu(
         n=n,
         P=P,
         b=b,
-        method="calu",
+        method="calu" if res.pivoting == "ca" else f"calu[{res.pivoting}]",
         growth=trefethen_schreiber_growth(A, res.growth_history),
         tau_ave=stats.average,
         tau_min=stats.minimum,

@@ -64,3 +64,35 @@ def test_solver_hpl_criterion_satisfied():
     res = calu_solve(A, b, block_size=16, nblocks=4, refine=0)
     r = hpl_residuals(A, res.x, b)
     assert r.passed
+
+
+def test_multi_rhs_residual_records_max_abs_entry():
+    """Regression: with a matrix of right-hand sides the recorded residual
+    must be the largest residual entry, not the matrix infinity norm (which
+    sums |residuals| across RHS columns and overstates the error)."""
+    rng = np.random.default_rng(8)
+    A = randn(50, seed=8)
+    B = rng.standard_normal((50, 3))
+    fact = calu(A, block_size=8, nblocks=4)
+    res = solve_with_refinement(A, B, fact, max_iterations=0)
+    R = B - A @ res.x
+    assert res.x.shape == (50, 3)
+    assert res.residual_norms[0] == float(np.max(np.abs(R)))
+    # The old matrix-norm recording sums |residuals| across the three RHS
+    # columns — strictly larger here, which is exactly the reported bug.
+    assert res.residual_norms[0] < float(np.linalg.norm(R, np.inf))
+
+
+def test_single_rhs_residual_recording_unchanged():
+    """For a vector RHS the max-abs entry IS the infinity norm — bit-equal."""
+    A, b, _ = linear_system(32, seed=9)
+    fact = calu(A, block_size=8, nblocks=2)
+    res = solve_with_refinement(A, b, fact, max_iterations=1)
+    r0 = b - A @ res.x
+    assert res.residual_norms[-1] == float(np.linalg.norm(r0, np.inf))
+
+
+def test_calu_solve_accepts_pivoting_strategy():
+    A, b, x_true = linear_system(48, seed=10)
+    res = calu_solve(A, b, block_size=8, nblocks=4, pivoting="ca_prrp")
+    assert np.allclose(res.x, x_true, atol=1e-7)

@@ -161,6 +161,82 @@ def test_pdgetrf_parity():
     assert np.array_equal(res_t.perm, res_e.perm)
 
 
+# ------------------------------------------- ragged panels + pivoting knob
+@pytest.mark.parametrize(
+    "n,b,pr,pc",
+    [(22, 8, 2, 2), (21, 8, 2, 2), (26, 8, 2, 3)],
+)
+def test_pcalu_ragged_edge_parity(n, b, pr, pc):
+    """n % block_size != 0: the fringe panel must behave identically on both
+    engines and still factor correctly."""
+    A = randn(n, seed=100 + n)
+    grid = ProcessGrid(pr, pc)
+    res_t = pcalu(A, grid, block_size=b, machine=ibm_power5(), engine="threaded")
+    res_e = pcalu(A, grid, block_size=b, machine=ibm_power5(), engine="event")
+    assert_traces_identical(res_t.trace, res_e.trace)
+    assert np.array_equal(res_t.perm, res_e.perm)
+    assert np.array_equal(res_t.L, res_e.L)  # same code path: bitwise
+    assert np.array_equal(res_t.U, res_e.U)
+    assert np.allclose(A[res_e.perm, :], res_e.L @ res_e.U, atol=1e-11)
+
+
+@pytest.mark.parametrize("strategy", ["pp", "ca", "ca_prrp"])
+def test_pcalu_pivoting_knob_parity_across_engines(strategy):
+    """Every pivoting strategy must run identically on both engines, on a
+    ragged (n=22, b=8) 2x2 problem."""
+    A = randn(22, seed=7)
+    grid = ProcessGrid(2, 2)
+    res_t = pcalu(A, grid, block_size=8, machine=ibm_power5(),
+                  engine="threaded", pivoting=strategy)
+    res_e = pcalu(A, grid, block_size=8, machine=ibm_power5(),
+                  engine="event", pivoting=strategy)
+    assert_traces_identical(res_t.trace, res_e.trace)
+    assert np.array_equal(res_t.perm, res_e.perm)
+    assert np.array_equal(res_t.L, res_e.L)
+    assert np.array_equal(res_t.U, res_e.U)
+    assert np.allclose(A[res_e.perm, :], res_e.L @ res_e.U, atol=1e-11)
+
+
+@pytest.mark.parametrize("strategy", ["pp", "ca", "ca_prrp"])
+def test_ptslu_pivoting_knob_parity_across_engines(strategy):
+    A = tall_skinny(52, 8, seed=3)  # 52 rows over 4 ranks: uneven blocks
+    res_t = ptslu(A, nprocs=4, machine=ibm_power5(), engine="threaded",
+                  pivoting=strategy)
+    res_e = ptslu(A, nprocs=4, machine=ibm_power5(), engine="event",
+                  pivoting=strategy)
+    assert_traces_identical(res_t.trace, res_e.trace)
+    assert np.array_equal(res_t.winners, res_e.winners)
+    assert np.array_equal(res_t.L, res_e.L)
+    assert np.array_equal(res_t.U, res_e.U)
+    assert np.allclose(A[res_e.perm, :], res_e.L @ res_e.U, atol=1e-11)
+
+
+def test_ptslu_pp_costs_per_column_messages():
+    """The paper's latency argument, measured: column-by-column partial
+    pivoting sends ~2 b log2 P messages per panel, the tournament log2 P."""
+    P, b = 8, 8
+    A = tall_skinny(16 * b, b, seed=5)
+    res_ca = ptslu(A, nprocs=P, engine="event", pivoting="ca")
+    res_pp = ptslu(A, nprocs=P, engine="event", pivoting="pp")
+    assert res_ca.trace.max_messages == np.log2(P)  # one butterfly
+    # pp: per column one all-reduce + one broadcast over log2(P) levels.
+    assert res_pp.trace.max_messages >= 2 * b * np.log2(P) / 2
+    assert res_pp.trace.max_messages > b * res_ca.trace.max_messages
+
+
+def test_pcalu_pp_is_exactly_pdgetrf():
+    """pivoting="pp" routes the panel to PDGETF2: bit-for-bit the baseline."""
+    A = randn(32, seed=3)
+    grid = ProcessGrid(2, 2)
+    res_pp = pcalu(A, grid, block_size=8, machine=ibm_power5(), engine="event",
+                   pivoting="pp")
+    ref = pdgetrf(A, grid, block_size=8, machine=ibm_power5(), engine="event")
+    assert np.array_equal(res_pp.perm, ref.perm)
+    assert np.array_equal(res_pp.L, ref.L)
+    assert np.array_equal(res_pp.U, ref.U)
+    assert_traces_identical(res_pp.trace, ref.trace)
+
+
 # ---------------------------------------------------------- event: determinism
 def test_event_engine_bitwise_reproducible():
     A = randn(32, seed=17)

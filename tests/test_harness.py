@@ -349,3 +349,127 @@ def test_cli_sweep_and_report(tmp_path, capsys):
 def test_cli_report_empty_store_errors(tmp_path, capsys):
     assert run_cli(["report"], tmp_path) == 1
     assert "no cached artifacts" in capsys.readouterr().err
+
+
+# ------------------------------------------------------- pivoting in the key
+def test_context_key_changes_when_only_pivoting_changes():
+    base = context_key("stability", {"seed": 0}, "lapack", "event", "ca")
+    assert base == context_key("stability", {"seed": 0}, "lapack", "event", "ca")
+    assert base != context_key("stability", {"seed": 0}, "lapack", "event", "ca_prrp")
+    assert base != context_key("stability", {"seed": 0}, "lapack", "event", "pp")
+
+
+def test_ambient_pivoting_is_keyed_and_recorded(tmp_path):
+    """The process-wide strategy knob must produce distinct artifacts."""
+    from repro.core.strategies import pivoting as pivoting_ctx
+
+    store = ResultStore(root=tmp_path)
+    spec = get_spec("figure1")  # no 'pivoting' param: ambient applies
+    default = store.fetch_or_run(spec)
+    assert default.artifact["pivoting"] == "ca"
+    with pivoting_ctx("ca_prrp"):
+        prrp = store.fetch_or_run(spec)
+    assert prrp.artifact["pivoting"] == "ca_prrp"
+    assert prrp.artifact["key"] != default.artifact["key"]
+    assert not prrp.cached
+
+
+def test_pivoting_param_specs_record_the_strategy_actually_used(tmp_path):
+    """Specs with a ``pivoting`` parameter key/record that value, not the env."""
+    store = ResultStore(root=tmp_path)
+    spec = get_spec("stability")
+    default = store.fetch_or_run(spec, quick=True)
+    assert default.artifact["pivoting"] == "ca"
+    prrp = store.fetch_or_run(spec, {"pivoting": "ca_prrp"}, quick=True)
+    assert prrp.artifact["pivoting"] == "ca_prrp"
+    assert prrp.artifact["key"] != default.artifact["key"]
+    assert prrp.rows[0]["method"] == "calu[ca_prrp]"
+
+
+def test_stability_prrp_spec_runs_and_is_keyed_distinctly(tmp_path):
+    """The three-way comparison spec: one row per strategy, cache miss then
+    hit, artifact keyed apart from the plain stability spec."""
+    store = ResultStore(root=tmp_path)
+    spec = get_spec("stability_prrp")
+    first = store.fetch_or_run(spec, quick=True)
+    assert not first.cached
+    assert [r["pivoting"] for r in first.rows] == ["ca", "ca_prrp", "pp"]
+    for row in first.rows:
+        assert row["max_error"] < 1e-12
+    second = store.fetch_or_run(spec, quick=True)
+    assert second.cached and second.rows == first.rows
+    plain = store.fetch_or_run(get_spec("stability"), quick=True)
+    assert plain.artifact["key"] != first.artifact["key"]
+
+
+# ------------------------------------------------------ harness bugfix locks
+def test_artifacts_listing_survives_concurrent_deletion(tmp_path, monkeypatch):
+    """Regression: a path that vanishes between load and stat must be
+    skipped, not crash the `repro report` listing."""
+    from pathlib import Path
+
+    store = ResultStore(root=tmp_path)
+    store.fetch_or_run(get_spec("figure1"))
+    real_stat = Path.stat
+
+    def racing_stat(self, **kwargs):
+        if self.suffix == ".json" and tmp_path in self.parents:
+            raise FileNotFoundError(f"{self} vanished mid-listing")
+        return real_stat(self, **kwargs)
+
+    monkeypatch.setattr(Path, "stat", racing_stat)
+    assert store.artifacts() == []
+    monkeypatch.setattr(Path, "stat", real_stat)
+    assert [a["spec"] for a in store.artifacts()] == ["figure1"]
+
+
+def test_sweep_rows_tag_fixed_base_params():
+    """Regression: fixed ``base`` overrides must appear in sweep rows under
+    the ``param:`` prefix (without clobbering row columns), so the CSV/JSON
+    output stays self-describing."""
+    spec = get_spec("panel_counts")
+    result = run_sweep(spec, {"P": (2, 4)}, base={"m": 64, "b": 4},
+                       jobs=1, use_cache=False)
+    rows = result.rows()
+    assert len(rows) == 2
+    for row in rows:
+        # 'm' and 'b' are row columns already — never clobbered, not tagged.
+        assert row["m"] == 64 and row["b"] == 4
+        assert "param:m" not in row and "param:b" not in row
+    assert [r["param:P"] if "param:P" in r else r["P"] for r in rows] == [2, 4]
+    # base is carried on the result itself for reporting.
+    assert result.base == {"m": 64, "b": 4}
+    assert [j.grid_point for j in result.jobs] == [{"P": 2}, {"P": 4}]
+
+
+def test_sweep_rows_tag_base_even_for_externally_built_jobs():
+    """rows() must consult SweepResult.base, so jobs constructed without the
+    merged base still report it."""
+    from repro.harness.sweep import SweepJob, SweepResult
+    from repro.harness.store import FetchResult
+    from pathlib import Path
+
+    job = SweepJob(index=0, total=1, overrides={"P": 2}, grid_point={"P": 2})
+    job.result = FetchResult(
+        artifact={"rows": [{"value": 42}]}, cached=False, path=Path("x")
+    )
+    result = SweepResult(spec=get_spec("panel_counts"), jobs=[job],
+                         base={"m": 64})
+    rows = result.rows()
+    assert rows == [{"param:m": 64, "param:P": 2, "value": 42}]
+
+
+def test_ambient_invariant_spec_ignores_pivoting_env(tmp_path):
+    """stability_prrp factors with every strategy explicitly, so the ambient
+    knob must neither re-key nor relabel its artifact."""
+    from repro.core.strategies import pivoting as pivoting_ctx
+
+    store = ResultStore(root=tmp_path)
+    spec = get_spec("stability_prrp")
+    assert spec.ambient_invariant == ("pivoting",)
+    default = store.fetch_or_run(spec, quick=True)
+    with pivoting_ctx("pp"):
+        same = store.fetch_or_run(spec, quick=True)
+    assert same.cached  # no spurious recompute
+    assert same.artifact["key"] == default.artifact["key"]
+    assert same.artifact["pivoting"] == "ca"  # labeled with the default

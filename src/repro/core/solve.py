@@ -9,7 +9,7 @@ backward error can be reduced to the order of 1e-16", Section 6.1).
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Optional
 
 import numpy as np
@@ -38,12 +38,19 @@ class SolveResult:
         the initial solve and after each refinement step (the paper's ``w_b``).
     iterations:
         Number of refinement steps actually performed.
+    per_rhs_residuals:
+        Max-abs residual split per right-hand side, one list of ``nrhs``
+        floats per recorded step (``residual_norms[i] ==
+        max(per_rhs_residuals[i])``); a single-RHS solve records one-element
+        lists.  The same layout as
+        :class:`repro.parallel.psolve.DistributedSolveResult`.
     """
 
     x: np.ndarray
     residual_norms: list
     backward_errors: list
     iterations: int
+    per_rhs_residuals: list = field(default_factory=list)
 
 
 def lu_solve(
@@ -99,6 +106,15 @@ def _max_abs_residual(r: np.ndarray) -> float:
     return float(np.max(np.abs(r))) if r.size else 0.0
 
 
+def _per_rhs_max_abs(r: np.ndarray) -> list:
+    """Max-abs residual per right-hand side (a one-element list for vectors)."""
+    if r.size == 0:
+        return []
+    if r.ndim == 1:
+        return [float(np.max(np.abs(r)))]
+    return [float(v) for v in np.max(np.abs(r), axis=0)]
+
+
 def solve_with_refinement(
     A: np.ndarray,
     b: np.ndarray,
@@ -115,7 +131,9 @@ def solve_with_refinement(
     A = np.asarray(A, dtype=np.float64)
     b = np.asarray(b, dtype=np.float64)
     x = lu_solve(factorization.L, factorization.U, factorization.perm, b, flops=flops)
-    residuals = [_max_abs_residual(b - A @ x)]
+    r = b - A @ x
+    residuals = [_max_abs_residual(r)]
+    per_rhs = [_per_rhs_max_abs(r)]
     backward = [componentwise_backward_error(A, x, b)]
     iterations = 0
     for _ in range(max_iterations):
@@ -125,10 +143,16 @@ def solve_with_refinement(
         dx = lu_solve(factorization.L, factorization.U, factorization.perm, r, flops=flops)
         x = x + dx
         iterations += 1
-        residuals.append(_max_abs_residual(b - A @ x))
+        r = b - A @ x
+        residuals.append(_max_abs_residual(r))
+        per_rhs.append(_per_rhs_max_abs(r))
         backward.append(componentwise_backward_error(A, x, b))
     return SolveResult(
-        x=x, residual_norms=residuals, backward_errors=backward, iterations=iterations
+        x=x,
+        residual_norms=residuals,
+        backward_errors=backward,
+        iterations=iterations,
+        per_rhs_residuals=per_rhs,
     )
 
 

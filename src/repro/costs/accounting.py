@@ -25,6 +25,13 @@ class CostLedger:
     ----------
     muladds, divides:
         Arithmetic on the critical path (the paper's ``γ`` and ``γ_d`` terms).
+    comparisons:
+        Pivot-search comparisons on the critical path (priced with ``γ_cmp``,
+        which defaults to ``γ`` — see
+        :meth:`repro.machines.model.MachineModel.comparison_time`).  The
+        simulator charges these for every pivot search, so the analytic
+        ledgers must carry them too or model-vs-simulator validation drifts
+        whenever ``gamma_cmp`` is set.
     messages_col, words_col:
         Messages and 8-byte words communicated within a process column
         (priced with ``α_c``/``β_c``).
@@ -39,6 +46,7 @@ class CostLedger:
 
     muladds: float = 0.0
     divides: float = 0.0
+    comparisons: float = 0.0
     messages_col: float = 0.0
     words_col: float = 0.0
     messages_row: float = 0.0
@@ -52,6 +60,7 @@ class CostLedger:
         return CostLedger(
             muladds=self.muladds + other.muladds,
             divides=self.divides + other.divides,
+            comparisons=self.comparisons + other.comparisons,
             messages_col=self.messages_col + other.messages_col,
             words_col=self.words_col + other.words_col,
             messages_row=self.messages_row + other.messages_row,
@@ -66,6 +75,7 @@ class CostLedger:
         return CostLedger(
             muladds=self.muladds * factor,
             divides=self.divides * factor,
+            comparisons=self.comparisons * factor,
             messages_col=self.messages_col * factor,
             words_col=self.words_col * factor,
             messages_row=self.messages_row * factor,
@@ -88,13 +98,20 @@ class CostLedger:
 
     @property
     def total_flops(self) -> float:
-        """Arithmetic operations (muladds + divides)."""
+        """Arithmetic operations (muladds + divides).
+
+        Comparisons are deliberately excluded so this stays in the same
+        currency as :attr:`repro.kernels.flops.FlopCounter.total` and
+        :attr:`repro.distsim.tracing.RunTrace.total_flops` — the paper's
+        flop counts neglect pivot searches; they are priced separately via
+        ``γ_cmp`` in :meth:`time` and :meth:`breakdown`.
+        """
         return self.muladds + self.divides
 
     # ------------------------------------------------------------- pricing
     def time(self, machine: MachineModel) -> float:
         """Evaluate the ledger under a machine model (seconds)."""
-        t = machine.compute_time(self.muladds, self.divides)
+        t = machine.compute_time(self.muladds, self.divides, self.comparisons)
         t += self.messages_col * machine.latency("col")
         t += self.words_col * machine.inv_bandwidth("col")
         t += self.messages_row * machine.latency("row")
@@ -105,7 +122,7 @@ class CostLedger:
 
     def breakdown(self, machine: MachineModel) -> Dict[str, float]:
         """Time split into arithmetic / latency / bandwidth contributions."""
-        arithmetic = machine.compute_time(self.muladds, self.divides)
+        arithmetic = machine.compute_time(self.muladds, self.divides, self.comparisons)
         latency = (
             self.messages_col * machine.latency("col")
             + self.messages_row * machine.latency("row")

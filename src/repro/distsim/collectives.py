@@ -31,6 +31,21 @@ def _position(comm: Communicator, group: Sequence[int]) -> int:
         ) from exc
 
 
+def _root_position(name: str, root: int, group: Sequence[int]) -> int:
+    """Position of ``root`` in ``group``, validated up front.
+
+    A rooted collective whose root is outside the group would otherwise die
+    on a bare ``list.index`` ValueError somewhere mid-tree — this raises a
+    diagnosable error naming the collective, the root and the group instead.
+    """
+    try:
+        return list(group).index(root)
+    except ValueError:
+        raise ValueError(
+            f"{name}: root rank {root} is not a member of group {list(group)}"
+        ) from None
+
+
 def broadcast(
     comm: Communicator,
     value: Any,
@@ -64,9 +79,9 @@ def broadcast(
     group = list(group) if group is not None else list(range(comm.size))
     p = len(group)
     me = _position(comm, group)
+    rootpos = _root_position("broadcast", root, group)
     if p == 1:
         return value
-    rootpos = group.index(root)
     # Re-index so the root is position 0.
     vrank = (me - rootpos) % p
 
@@ -104,7 +119,7 @@ def reduce(
     group = list(group) if group is not None else list(range(comm.size))
     p = len(group)
     me = _position(comm, group)
-    rootpos = group.index(root)
+    rootpos = _root_position("reduce", root, group)
     vrank = (me - rootpos) % p
 
     acc = value
@@ -239,7 +254,7 @@ def scatter(
     """
     group = list(group) if group is not None else list(range(comm.size))
     me = _position(comm, group)
-    rootpos = group.index(root)
+    rootpos = _root_position("scatter", root, group)
     if comm.rank == root:
         if values is None or len(values) != len(group):
             raise ValueError("root must supply one value per group member")

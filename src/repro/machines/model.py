@@ -69,8 +69,13 @@ class MachineModel:
     def __post_init__(self) -> None:
         if min(self.gamma, self.gamma_d, self.alpha, self.beta) < 0:
             raise ValueError("machine parameters must be non-negative")
-        if self.gamma_cmp is not None and self.gamma_cmp < 0:
-            raise ValueError("machine parameters must be non-negative")
+        # The optional per-channel overrides of a hierarchical machine must be
+        # validated too, or a mistyped alpha_row/beta_col produces negative
+        # simulated times instead of an error at construction.
+        for name in ("alpha_row", "beta_row", "alpha_col", "beta_col", "gamma_cmp"):
+            value = getattr(self, name)
+            if value is not None and value < 0:
+                raise ValueError(f"machine parameter {name} must be non-negative")
 
     # Channel-resolved accessors -------------------------------------------------
     def latency(self, channel: str = "any") -> float:

@@ -5,12 +5,15 @@ from .compare import (
     PAPER_GRIDS,
     FactorizationComparison,
     PanelComparison,
+    SolveValidation,
     best_vs_best,
     compare_factorization,
     compare_panel,
     recursive_speedup,
+    validate_solve,
 )
 from .pdgetrf_model import pdgetrf_cost
+from .solve_model import pdtrsv_cost, residual_cost, solve_cost, solve_message_counts
 from .tslu_model import pdgetf2_cost, tslu_cost
 
 __all__ = [
@@ -19,6 +22,12 @@ __all__ = [
     "calu_cost",
     "calu_flops",
     "pdgetrf_cost",
+    "pdtrsv_cost",
+    "residual_cost",
+    "solve_cost",
+    "solve_message_counts",
+    "validate_solve",
+    "SolveValidation",
     "compare_panel",
     "compare_factorization",
     "best_vs_best",

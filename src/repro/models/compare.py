@@ -14,6 +14,7 @@ from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 from ..machines.model import MachineModel
 from .calu_model import calu_cost, calu_flops
 from .pdgetrf_model import pdgetrf_cost
+from .solve_model import solve_cost, solve_message_counts
 from .tslu_model import pdgetf2_cost, tslu_cost
 
 #: Effective local-factorization speedup attributed to the recursive kernel
@@ -167,6 +168,86 @@ def best_vs_best(
         "pdgetrf_P": best_ref[1],
         "pdgetrf_b": best_ref[2],
     }
+
+
+@dataclass
+class SolveValidation:
+    """Simulated-vs-analytic comparison of one ``pdgesv`` solve phase.
+
+    ``predicted`` comes from :func:`repro.models.solve_model.solve_message_counts`
+    (exact totals), ``measured`` from the solve trace; ``t_analytic`` prices
+    :func:`repro.models.solve_model.solve_cost` under the machine model and
+    ``t_simulated`` is the trace's critical-path time.
+    """
+
+    n: int
+    b: int
+    Pr: int
+    Pc: int
+    nrhs: int
+    refinements: int
+    predicted: Dict[str, float]
+    measured: Dict[str, float]
+    t_analytic: float
+    t_simulated: float
+
+    @property
+    def messages_match(self) -> bool:
+        """True when every per-channel message total matches exactly."""
+        keys = ("messages_col", "messages_row", "messages_any", "total_messages")
+        return all(self.measured[k] == self.predicted[k] for k in keys)
+
+    @property
+    def time_ratio(self) -> float:
+        """Simulated / analytic solve time (1.0 = the model is exact)."""
+        if self.t_analytic <= 0.0:
+            return float("inf") if self.t_simulated > 0.0 else 1.0
+        return self.t_simulated / self.t_analytic
+
+
+def validate_solve(
+    trace,
+    n: int,
+    b: int,
+    Pr: int,
+    Pc: int,
+    machine: MachineModel,
+    nrhs: int = 1,
+    refinements: int = 0,
+) -> SolveValidation:
+    """Check a measured solve trace against the analytic solve model.
+
+    ``trace`` is the solve-phase :class:`~repro.distsim.tracing.RunTrace` of
+    :func:`repro.parallel.psolve.pdgesv` (``result.trace``); ``refinements``
+    must be the iteration count the run actually performed
+    (``result.iterations``) since refinement stops early on convergence.
+    """
+    predicted = solve_message_counts(n, b, Pr, Pc, nrhs=nrhs, refinements=refinements)
+    measured = {
+        "messages_col": float(trace.messages_by_channel("col")),
+        "messages_row": float(trace.messages_by_channel("row")),
+        "messages_any": float(trace.messages_by_channel("any")),
+        "total_messages": float(trace.total_messages),
+        "words_col": float(trace.words_by_channel("col")),
+        "words_row": float(trace.words_by_channel("row")),
+        "words_any": float(trace.words_by_channel("any")),
+        "total_words": float(trace.total_words),
+    }
+    t_analytic = solve_cost(n, b, Pr, Pc, nrhs=nrhs, refinements=refinements).time(
+        machine
+    )
+    return SolveValidation(
+        n=n,
+        b=b,
+        Pr=Pr,
+        Pc=Pc,
+        nrhs=nrhs,
+        refinements=refinements,
+        predicted=predicted,
+        measured=measured,
+        t_analytic=t_analytic,
+        t_simulated=trace.critical_path_time,
+    )
 
 
 #: The process grids the paper uses for P = 4 .. 64.

@@ -1,0 +1,239 @@
+"""Analytic cost model of the distributed solve phase (``PDGESV``'s solve).
+
+The factorization models (:mod:`repro.models.calu_model`,
+:mod:`repro.models.pdgetrf_model`) price ``P A = L U``; this module prices
+what comes after — the two blocked triangular solves plus iterative
+refinement of :func:`repro.parallel.psolve.pdgesv` — with the same
+conventions, so the full ``A x = b`` pipeline can be priced and validated
+end to end.
+
+Two views are provided:
+
+* :func:`solve_message_counts` — *exact* total message/word counts per
+  channel for one solve (``1 + refinements`` triangular-solve pairs and
+  residual checks), derived from the collective trees the implementation
+  uses: a binomial broadcast/reduction over ``g`` ranks sends ``g - 1``
+  messages; the stats all-reduce over ``P`` ranks sends
+  ``2 (P - 2^floor(log2 P)) + 2^floor(log2 P) log2(2^floor(log2 P))``
+  messages (recursive doubling with fold).  The ``solve`` experiment spec
+  asserts the simulator reproduces these numbers exactly.
+* :func:`solve_cost` — a :class:`~repro.costs.accounting.CostLedger` of the
+  *critical path* (tree depths instead of totals, per-rank arithmetic at
+  leading order), to be priced under a machine model next to Equations
+  (1)-(3).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict
+
+from ..costs.accounting import CostLedger
+from .tslu_model import _log2
+
+
+def tree_messages(p: float) -> float:
+    """Total messages of a binomial-tree broadcast/reduce over ``p`` ranks."""
+    return max(p - 1.0, 0.0)
+
+
+def tree_depth(p: float) -> float:
+    """Critical-path steps of a binomial tree over ``p`` ranks."""
+    return math.ceil(_log2(p))
+
+
+def butterfly_messages(p: int) -> float:
+    """Total messages of the recursive-doubling all-reduce over ``p`` ranks.
+
+    Non-powers of two fold the ``rem = p - 2^k`` excess ranks onto partners
+    first and unfold afterwards (2 messages each), as
+    :func:`repro.distsim.collectives.allreduce` does.
+    """
+    if p <= 1:
+        return 0.0
+    pow2 = 1
+    while pow2 * 2 <= p:
+        pow2 *= 2
+    rem = p - pow2
+    return 2.0 * rem + pow2 * _log2(pow2)
+
+
+def _num_blocks(n: int, b: int) -> int:
+    return -(-n // b)
+
+
+def solve_message_counts(
+    n: int,
+    b: int,
+    Pr: int,
+    Pc: int,
+    nrhs: int = 1,
+    refinements: int = 0,
+) -> Dict[str, float]:
+    """Exact total message/word counts of one ``pdgesv`` solve phase.
+
+    Parameters
+    ----------
+    n, b:
+        Matrix order and block size of the 2-D block-cyclic layout.
+    Pr, Pc:
+        Process grid shape.
+    nrhs:
+        Number of right-hand sides (messages are independent of it; only the
+        words grow — the multi-RHS solves are batched).
+    refinements:
+        Refinement steps actually performed (each adds one triangular-solve
+        pair and one residual check).  The implementation stops early when
+        the backward error converges, so pass the *measured* iteration count
+        when validating a run.
+
+    Returns
+    -------
+    dict
+        ``messages_col`` / ``messages_row`` / ``messages_any`` /
+        ``total_messages`` and the matching ``words_*`` totals.
+
+    Notes
+    -----
+    Per triangular solve over ``nb = ceil(n/b)`` blocks the implementation
+    performs ``nb`` solved-block broadcasts down process columns
+    (``Pr - 1`` messages each) and ``nb - 1`` partial-sum reductions across
+    process rows (``Pc - 1`` each; the first forward / last backward block
+    has nothing to reduce).  Each residual check adds ``nb`` row reductions
+    of (residual, denominator) block pairs plus one global all-reduce of the
+    per-RHS statistics.  The permutation of ``b`` is folded into the
+    redistribution (see :func:`repro.parallel.psolve.pdgesv`) and costs no
+    messages.
+    """
+    nb = _num_blocks(n, b)
+    first = min(n, b)  # rows of block 0
+    last = n - (nb - 1) * b  # rows of the (possibly ragged) final block
+    P = Pr * Pc
+    solves = 1.0 + refinements  # forward+backward substitution pairs
+    checks = 1.0 + refinements  # residual + stats evaluations
+
+    messages_col = solves * 2.0 * nb * tree_messages(Pr)
+    messages_row = (
+        solves * 2.0 * (nb - 1) * tree_messages(Pc)
+        + checks * nb * tree_messages(Pc)
+    )
+    messages_any = checks * butterfly_messages(P)
+
+    # Words: broadcasts ship every solved block once per tree edge
+    # (sum_k kb*nrhs = n*nrhs); the substitution reductions skip the first
+    # forward / last backward block; residual reductions carry the
+    # (residual, denominator) pair; the stats all-reduce carries the per-RHS
+    # maxima plus the scalar backward error.
+    words_col = solves * 2.0 * n * nrhs * tree_messages(Pr)
+    words_row = (
+        solves * (2.0 * n - first - last) * nrhs * tree_messages(Pc)
+        + checks * 2.0 * n * nrhs * tree_messages(Pc)
+    )
+    words_any = checks * butterfly_messages(P) * (nrhs + 1.0)
+
+    return {
+        "messages_col": messages_col,
+        "messages_row": messages_row,
+        "messages_any": messages_any,
+        "total_messages": messages_col + messages_row + messages_any,
+        "words_col": words_col,
+        "words_row": words_row,
+        "words_any": words_any,
+        "total_words": words_col + words_row + words_any,
+    }
+
+
+def pdtrsv_cost(
+    n: int, b: int, Pr: int, Pc: int, nrhs: int = 1, upper: bool = False
+) -> CostLedger:
+    """Critical-path cost of one blocked distributed triangular solve.
+
+    The substitution sweep serialises over the ``nb`` blocks: each step pays
+    a tree-depth reduction across the process row, the local ``b x b``
+    triangular solve, and a tree-depth broadcast down the process column.
+    The accumulated GEMM work per step is split over the ``Pc`` processes of
+    the owning grid row (``n^2 nrhs / Pc`` over the sweep).
+    """
+    if min(n, b, Pr, Pc) <= 0:
+        raise ValueError("all parameters must be positive")
+    nb = _num_blocks(n, b)
+    dr = tree_depth(Pr)
+    dc = tree_depth(Pc)
+    muladds = (
+        n * n * nrhs / Pc  # off-diagonal accumulation, split over the row
+        + (nb - 1) * dc * b * nrhs  # reduction-tree additions
+        + n * b * nrhs  # diagonal-block triangular solves
+        + n * nrhs  # right-hand-side subtraction
+    )
+    return CostLedger(
+        muladds=muladds,
+        divides=n * nrhs if upper else 0.0,
+        messages_row=(nb - 1) * dc,
+        words_row=(nb - 1) * dc * b * nrhs,
+        messages_col=nb * dr,
+        words_col=n * nrhs * dr,
+        label=f"PDTRSV(n={n:g}, b={b:g}, Pr={Pr:g}, Pc={Pc:g}, nrhs={nrhs:g})",
+    )
+
+
+def residual_cost(n: int, b: int, Pr: int, Pc: int, nrhs: int = 1) -> CostLedger:
+    """Critical-path cost of one distributed residual + backward-error check.
+
+    Each rank multiplies its ``(n/Pr) x (n/Pc)`` local piece by its solution
+    columns (twice: once for ``P A x``, once for ``|P A| |x|``), joins one
+    reduction per block row its grid row owns, and the per-RHS statistics
+    are agreed on by one all-reduce over all ``P`` ranks.
+    """
+    if min(n, b, Pr, Pc) <= 0:
+        raise ValueError("all parameters must be positive")
+    nb = _num_blocks(n, b)
+    P = Pr * Pc
+    dc = tree_depth(Pc)
+    dp = tree_depth(P)
+    rows_per_grid_row = nb / Pr
+    return CostLedger(
+        muladds=(
+            4.0 * n * n * nrhs / P  # local A@x and |A|@|x|
+            + rows_per_grid_row * dc * 2.0 * b * nrhs  # reduction additions
+            + 2.0 * n * nrhs / Pr  # residual subtraction + denominator
+        ),
+        divides=n * nrhs / Pr,  # componentwise ratios
+        comparisons=2.0 * n * nrhs / Pr + dp * (nrhs + 1.0),
+        messages_row=rows_per_grid_row * dc,
+        words_row=rows_per_grid_row * dc * 2.0 * b * nrhs,
+        messages_any=dp,
+        words_any=dp * (nrhs + 1.0),
+        label=f"residual(n={n:g}, b={b:g}, Pr={Pr:g}, Pc={Pc:g}, nrhs={nrhs:g})",
+    )
+
+
+def solve_cost(
+    n: int,
+    b: int,
+    Pr: int,
+    Pc: int,
+    nrhs: int = 1,
+    refinements: int = 0,
+) -> CostLedger:
+    """Critical-path cost of the full ``pdgesv`` solve phase.
+
+    ``1 + refinements`` forward/backward substitution pairs plus
+    ``1 + refinements`` residual checks (the initial accuracy check and one
+    per refinement step).  Price it under a machine model with
+    ``solve_cost(...).time(machine)`` and compare against the measured
+    ``trace.critical_path_time`` of :func:`repro.parallel.psolve.pdgesv`;
+    the message *totals* are validated exactly via
+    :func:`solve_message_counts`.
+    """
+    solves = 1 + refinements
+    checks = 1 + refinements
+    ledger = CostLedger(label=(
+        f"PDGESV-solve(n={n:g}, b={b:g}, Pr={Pr:g}, Pc={Pc:g}, "
+        f"nrhs={nrhs:g}, refinements={refinements:g})"
+    ))
+    fwd = pdtrsv_cost(n, b, Pr, Pc, nrhs, upper=False)
+    bwd = pdtrsv_cost(n, b, Pr, Pc, nrhs, upper=True)
+    check = residual_cost(n, b, Pr, Pc, nrhs)
+    # x += dx update on every refinement (per-rank local columns).
+    update = CostLedger(muladds=refinements * n * nrhs / Pc)
+    return ledger + (fwd + bwd).scaled(solves) + check.scaled(checks) + update

@@ -62,9 +62,15 @@ def tslu_cost(
     # The second 2b^3/3 term is the root/no-pivot factorization; the paper
     # folds it into the (log2 P - 1) factor's constant — keeping it explicit
     # changes nothing at leading order but keeps P = 1 sensible.
+    # Pivot-search comparisons (charged by the simulator, priced with γ_cmp):
+    # the local factorization scans m/P rows per column (m b / P total at
+    # leading order) and every tournament merge factors a 2b x b block
+    # (3 b^2 / 2 comparisons each, log2 P merges on the critical path).
+    comparisons = m * b / P + 1.5 * b * b * lg
     return CostLedger(
         muladds=local_flops / max(local_speedup, 1.0) + tournament_flops,
         divides=b * (lg + 1.0),
+        comparisons=comparisons,
         messages_col=lg,
         words_col=b * b * lg,
         label=f"TSLU(m={m:g}, b={b:g}, P={P:g}, {local_kernel})",
@@ -85,6 +91,8 @@ def pdgetf2_cost(m: float, b: float, P: float) -> CostLedger:
     return CostLedger(
         muladds=flops,
         divides=b,
+        # One local pivot search of ~m/P rows per column.
+        comparisons=m * b / P,
         messages_col=2.0 * b * lg,
         words_col=(b * b / 2.0 + b) * lg,
         label=f"PDGETF2(m={m:g}, b={b:g}, P={P:g})",

@@ -2,6 +2,7 @@
 
 from .driver import DistributedLUResult, block_right_looking_rank, run_block_lu
 from .pcalu import make_calu_panel, pcalu
+from .psolve import DistributedSolveResult, pdgesv, pdgesv_rank
 from .ptslu import PTSLUResult, pp_panel_rank, ptslu, ptslu_rank
 
 __all__ = [
@@ -11,6 +12,9 @@ __all__ = [
     "PTSLUResult",
     "pcalu",
     "make_calu_panel",
+    "pdgesv",
+    "pdgesv_rank",
+    "DistributedSolveResult",
     "run_block_lu",
     "block_right_looking_rank",
     "DistributedLUResult",

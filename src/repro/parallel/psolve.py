@@ -1,0 +1,367 @@
+"""End-to-end distributed solution of ``A x = b`` (``PDGESV`` analogue).
+
+This closes the factorization→solve gap: ``pcalu``/``pdgetrf`` produce
+distributed factors, and the paper's accuracy story (Table 1, Section 6.1) is
+defined on the *solution* — residuals and componentwise backward error after
+iterative refinement.  :func:`pdgesv` chains
+
+1. a distributed factorization (:func:`repro.parallel.pcalu.pcalu`, honoring
+   the ``pivoting`` knob — with ``pivoting="pp"`` the factorization is
+   bit-for-bit ScaLAPACK's PDGETRF — plus ``kernel_tier`` and both execution
+   engines);
+2. the row permutation applied to the right-hand sides (folded into the
+   block-cyclic redistribution of ``b``: the driver knows the full pivot
+   sequence once the factorization is gathered, so ``P b`` costs no
+   messages — a real code would run PDLASWP on ``B`` at ``O(n)`` extra
+   messages, which the analytic model deliberately excludes the same way);
+3. two blocked distributed triangular solves
+   (:mod:`repro.scalapack.pdtrsv`);
+4. distributed iterative refinement: the residual ``r = P b - (P A) x`` and
+   the componentwise denominator ``|P A| |x| + |P b|`` are computed from
+   block-cyclic local pieces and reduced along process rows, the per-RHS
+   max-abs residuals and the backward error are agreed on by a global
+   all-reduce, and each correction is another pair of triangular solves —
+   "usually after 2 iterative refinements, the componentwise backward error
+   can be reduced to the order of 1e-16" (Section 6.1).
+
+The solve phase's communication is exactly predicted by
+:mod:`repro.models.solve_model`; the ``solve`` experiment spec
+(``repro run solve``) checks the measured message counts against it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple, Union
+
+import numpy as np
+
+from ..distsim.collectives import allreduce, reduce
+from ..distsim.engine import ExecutionEngine
+from ..distsim.tracing import RunTrace
+from ..distsim.vmpi import Communicator, run_spmd
+from ..kernels.flops import FlopCounter
+from ..layouts.block_cyclic import BlockCyclic2D
+from ..layouts.grid import ProcessGrid
+from ..machines.model import MachineModel
+from ..scalapack.pdtrsv import (
+    RhsBlocks,
+    block_bounds,
+    diag_owner,
+    pdtrsv_lower_unit,
+    pdtrsv_upper,
+)
+from .driver import DistributedLUResult
+from .pcalu import pcalu
+
+
+@dataclass
+class DistributedSolveResult:
+    """Solution of ``A x = b`` computed by the distributed solver.
+
+    Attributes
+    ----------
+    x:
+        Computed solution (vector, or ``n x nrhs`` matrix of solutions).
+    residual_norms:
+        Largest residual entry ``max_ij |b - A x|_ij`` after the initial
+        solve and after each refinement step — the same quantity (and list
+        layout) as :class:`repro.core.solve.SolveResult`.
+    per_rhs_residuals:
+        Per right-hand side max-abs residuals, one ``nrhs``-vector per
+        recorded step (``residual_norms[i] == max(per_rhs_residuals[i])``).
+    backward_errors:
+        Componentwise backward error ``max_i |r_i| / (|A||x| + |b|)_i`` after
+        the initial solve and after each refinement step.
+    iterations:
+        Number of refinement steps actually performed.
+    factorization:
+        The distributed factorization consumed by the solve (its ``trace``
+        prices the factorization phase).
+    trace:
+        Per-rank communication/computation trace of the *solve* phase only
+        (triangular solves + refinement), so it can be validated against
+        :func:`repro.models.solve_model.solve_message_counts`.
+    """
+
+    x: np.ndarray
+    residual_norms: List[float]
+    per_rhs_residuals: List[List[float]]
+    backward_errors: List[float]
+    iterations: int
+    factorization: DistributedLUResult
+    trace: RunTrace
+
+
+def _distributed_residual(
+    comm: Communicator,
+    dist: BlockCyclic2D,
+    PAloc: np.ndarray,
+    pb_blocks: RhsBlocks,
+    x_cols: np.ndarray,
+    nrhs: int,
+    tag: object,
+) -> Tuple[RhsBlocks, np.ndarray, float]:
+    """Distributed residual and componentwise backward error (one rank's body).
+
+    Every rank multiplies its local piece of the permuted matrix by the
+    solution entries of its local columns (``P A x`` and ``|P A| |x|`` in one
+    pass); the per-block-row slices are summed across each process row to the
+    diagonal owners, which assemble the residual blocks
+    ``r_k = (P b)_k - (P A x)_k`` and the componentwise ratios.  A final
+    all-reduce over every rank agrees on the per-RHS max-abs residuals and the
+    backward error, so refinement stops at the same step on all ranks.
+
+    Returns ``(residual_blocks, per_rhs_max, backward_error)``; the residual
+    blocks live on the diagonal owners, ready to be the next refinement
+    right-hand side.
+    """
+    grid = dist.grid
+    myrow, mycol = grid.coords(comm.rank)
+    mloc = dist.local_rows(myrow).shape[0] if myrow < grid.nprow else 0
+    scratch = FlopCounter()
+
+    if mloc and x_cols.shape[0]:
+        partial = PAloc @ x_cols
+        abs_partial = np.abs(PAloc) @ np.abs(x_cols)
+        # Charge before the reductions ship slices of these partials, so the
+        # message timestamps include the matvec that produced them.
+        comm.charge_flops(muladds=4.0 * mloc * x_cols.shape[0] * nrhs)
+    else:
+        partial = np.zeros((mloc, nrhs))
+        abs_partial = np.zeros((mloc, nrhs))
+
+    def add(a: Tuple[np.ndarray, np.ndarray], b: Tuple[np.ndarray, np.ndarray]):
+        comm.charge_flops(muladds=float(a[0].size + a[1].size))
+        return (a[0] + b[0], a[1] + b[1])
+
+    residual_blocks: RhsBlocks = {}
+    local_max = np.zeros(nrhs)
+    local_wb = 0.0
+    nb = dist.num_block_rows()
+    for k in range(nb):
+        if k % grid.nprow != myrow:
+            continue
+        g0, g1 = block_bounds(dist, k)
+        kb = g1 - g0
+        lr0 = (k // grid.nprow) * dist.block
+        root = diag_owner(dist, k)
+        acc = reduce(
+            comm,
+            (partial[lr0 : lr0 + kb], abs_partial[lr0 : lr0 + kb]),
+            add,
+            root=root,
+            group=grid.row_ranks(myrow),
+            tag=(tag, "res", k),
+            channel="row",
+        )
+        if comm.rank == root:
+            pb_k = pb_blocks[k]
+            r_k = pb_k - acc[0]
+            denom = acc[1] + np.abs(pb_k)
+            scratch.add_muladds(2.0 * kb * nrhs)
+            residual_blocks[k] = r_k
+            if r_k.size:
+                local_max = np.maximum(local_max, np.max(np.abs(r_k), axis=0))
+                with np.errstate(divide="ignore", invalid="ignore"):
+                    ratios = np.where(denom > 0.0, np.abs(r_k) / denom, 0.0)
+                local_wb = max(local_wb, float(np.max(ratios)))
+                scratch.add_divides(float(kb * nrhs))
+                scratch.add_comparisons(2.0 * kb * nrhs)
+    comm.charge_counter(scratch)
+
+    def take_max(a: Tuple[np.ndarray, float], b: Tuple[np.ndarray, float]):
+        comm.charge_flops(comparisons=float(nrhs + 1))
+        return (np.maximum(a[0], b[0]), max(a[1], b[1]))
+
+    global_max, global_wb = allreduce(
+        comm,
+        (local_max, local_wb),
+        take_max,
+        tag=(tag, "stats"),
+        channel="any",
+    )
+    return residual_blocks, np.asarray(global_max), float(global_wb)
+
+
+def pdgesv_rank(
+    comm: Communicator,
+    dist: BlockCyclic2D,
+    LUloc: np.ndarray,
+    PAloc: np.ndarray,
+    pb_blocks: RhsBlocks,
+    nrhs: int,
+    max_iterations: int,
+    tolerance: float,
+) -> dict:
+    """SPMD body of the distributed solve + refinement (one rank).
+
+    ``pb_blocks`` holds the permuted right-hand-side blocks this rank
+    diagonal-owns; the factorization's permutation has already been applied.
+    Mirrors :func:`repro.core.solve.solve_with_refinement` step for step.
+    """
+    _, y_blocks = pdtrsv_lower_unit(
+        comm, dist, LUloc, pb_blocks, nrhs, tag=("fwd", 0)
+    )
+    x_cols, _ = pdtrsv_upper(
+        comm, dist, LUloc, y_blocks, nrhs, tag=("bwd", 0)
+    )
+    r_blocks, per_rhs, wb = _distributed_residual(
+        comm, dist, PAloc, pb_blocks, x_cols, nrhs, tag=("resid", 0)
+    )
+    residuals = [float(np.max(per_rhs)) if per_rhs.size else 0.0]
+    per_rhs_hist = [per_rhs.tolist()]
+    backward = [wb]
+    iterations = 0
+    for it in range(1, max_iterations + 1):
+        if backward[-1] <= tolerance:
+            break
+        _, dy_blocks = pdtrsv_lower_unit(
+            comm, dist, LUloc, r_blocks, nrhs, tag=("fwd", it)
+        )
+        dx_cols, _ = pdtrsv_upper(
+            comm, dist, LUloc, dy_blocks, nrhs, tag=("bwd", it)
+        )
+        x_cols += dx_cols
+        comm.charge_flops(muladds=float(x_cols.size))
+        r_blocks, per_rhs, wb = _distributed_residual(
+            comm, dist, PAloc, pb_blocks, x_cols, nrhs, tag=("resid", it)
+        )
+        iterations += 1
+        residuals.append(float(np.max(per_rhs)) if per_rhs.size else 0.0)
+        per_rhs_hist.append(per_rhs.tolist())
+        backward.append(wb)
+
+    # The solution blocks this rank diagonal-owns, read straight off the
+    # column-broadcast copies — x_cols already holds every solved block
+    # assigned to this grid column, so no separate per-block state is kept.
+    grid = dist.grid
+    x_blocks: RhsBlocks = {}
+    for k in range(dist.num_block_rows()):
+        if diag_owner(dist, k) == comm.rank:
+            g0, g1 = block_bounds(dist, k)
+            lc0 = (k // grid.npcol) * dist.block
+            x_blocks[k] = x_cols[lc0 : lc0 + (g1 - g0)]
+    return {
+        "x_blocks": x_blocks,
+        "residuals": residuals,
+        "per_rhs": per_rhs_hist,
+        "backward": backward,
+        "iterations": iterations,
+    }
+
+
+def pdgesv(
+    A: np.ndarray,
+    b: np.ndarray,
+    grid: ProcessGrid,
+    block_size: int,
+    local_kernel: str = "getf2",
+    machine: Optional[MachineModel] = None,
+    engine: Union[None, str, ExecutionEngine] = None,
+    kernel_tier: Optional[str] = None,
+    pivoting: Optional[str] = None,
+    refine: int = 2,
+    tolerance: float = 1.0e-16,
+) -> DistributedSolveResult:
+    """Solve ``A x = b`` end to end on the virtual process grid.
+
+    Parameters
+    ----------
+    A:
+        Square ``n x n`` matrix.
+    b:
+        Right-hand side(s): an ``n``-vector or an ``n x nrhs`` matrix (the
+        triangular solves are batched over the RHS block, so the message
+        count does not grow with ``nrhs``).
+    grid:
+        The process grid; both the factorization and the solve run on it.
+    block_size:
+        Block size ``b`` of the 2-D block-cyclic distribution.
+    local_kernel, kernel_tier, pivoting:
+        Passed to the factorization (:func:`repro.parallel.pcalu.pcalu`);
+        ``pivoting="pp"`` makes the factorization exactly
+        :func:`repro.scalapack.pdgetrf.pdgetrf`.
+    machine, engine:
+        Machine model and virtual-MPI execution engine for *both* phases.
+    refine:
+        Maximum iterative-refinement steps (default 2, as in the paper).
+    tolerance:
+        Refinement stops once the componentwise backward error drops below
+        this (default ``1e-16``, matching
+        :func:`repro.core.solve.solve_with_refinement`).
+
+    Returns
+    -------
+    DistributedSolveResult
+    """
+    A = np.asarray(A, dtype=np.float64)
+    if A.ndim != 2 or A.shape[0] != A.shape[1]:
+        raise ValueError("pdgesv expects a square matrix")
+    n = A.shape[0]
+    b = np.asarray(b, dtype=np.float64)
+    one_d = b.ndim == 1
+    B = b[:, None] if one_d else b
+    if B.shape[0] != n:
+        raise ValueError(
+            f"right-hand side has {B.shape[0]} rows, expected {n}"
+        )
+    nrhs = B.shape[1]
+
+    fact = pcalu(
+        A,
+        grid,
+        block_size,
+        local_kernel=local_kernel,
+        machine=machine,
+        engine=engine,
+        kernel_tier=kernel_tier,
+        pivoting=pivoting,
+    )
+
+    # Packed factors, permuted matrix and permuted RHS, redistributed
+    # block-cyclically.  Working in the permuted row space throughout means
+    # residuals and backward errors are computed rowwise on ``P A`` / ``P b``
+    # — the same values as for ``A`` / ``b``, since both are row
+    # permutations of the unpermuted quantities.
+    packed = np.tril(fact.L, -1) + fact.U
+    PA = A[fact.perm, :]
+    pB = B[fact.perm, :]
+    dist = BlockCyclic2D(n, n, block_size, grid)
+    LU_locals = dist.scatter(packed)
+    PA_locals = dist.scatter(PA)
+    nb = dist.num_block_rows()
+    pb_by_rank: Dict[int, RhsBlocks] = {r: {} for r in range(grid.size)}
+    for k in range(nb):
+        g0, g1 = block_bounds(dist, k)
+        pb_by_rank[diag_owner(dist, k)][k] = np.ascontiguousarray(pB[g0:g1])
+
+    def rank_fn(comm: Communicator) -> dict:
+        return pdgesv_rank(
+            comm,
+            dist,
+            LU_locals[comm.rank],
+            PA_locals[comm.rank],
+            pb_by_rank[comm.rank],
+            nrhs,
+            refine,
+            tolerance,
+        )
+
+    trace = run_spmd(grid.size, rank_fn, machine=machine, engine=engine)
+
+    x = np.zeros((n, nrhs))
+    for res in trace.results:
+        for k, xk in res["x_blocks"].items():
+            g0, g1 = block_bounds(dist, k)
+            x[g0:g1] = xk
+    first = trace.results[0]
+    return DistributedSolveResult(
+        x=x[:, 0] if one_d else x,
+        residual_norms=first["residuals"],
+        per_rhs_residuals=first["per_rhs"],
+        backward_errors=first["backward"],
+        iterations=first["iterations"],
+        factorization=fact,
+        trace=trace,
+    )

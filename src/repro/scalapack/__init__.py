@@ -1,4 +1,4 @@
-"""Simulated ScaLAPACK baselines (PDGETF2, PDGETRF, PDLASWP, PDTRSM, PDGEMM).
+"""Simulated ScaLAPACK baselines (PDGETF2, PDGETRF, PDLASWP, PDTRSM, PDTRSV, PDGEMM).
 
 These reproduce the communication structure of the routines the paper
 compares against, on the same virtual-MPI substrate and cost model as CALU.
@@ -9,6 +9,7 @@ from .pdgetf2 import make_pdgetf2_panel
 from .pdgetrf import pdgetrf
 from .pdlaswp import apply_swaps_to_permutation, pdlaswp, winners_to_swaps
 from .pdtrsm import pdtrsm_block_row
+from .pdtrsv import pdtrsv_lower_unit, pdtrsv_upper
 
 __all__ = [
     "pdgetrf",
@@ -17,5 +18,7 @@ __all__ = [
     "winners_to_swaps",
     "apply_swaps_to_permutation",
     "pdtrsm_block_row",
+    "pdtrsv_lower_unit",
+    "pdtrsv_upper",
     "pdgemm_trailing_update",
 ]

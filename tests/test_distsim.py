@@ -306,6 +306,37 @@ def test_collective_wrong_group_raises():
         run_spmd(2, prog, timeout=0.5)
 
 
+@pytest.mark.parametrize("name", ["broadcast", "reduce", "scatter"])
+def test_rooted_collective_rejects_root_outside_group(name):
+    """A root outside the group must fail up front with a diagnosable message
+    naming the collective, the root and the group — not a bare list.index
+    ValueError from the middle of the tree."""
+    from repro.distsim.collectives import reduce as reduce_, scatter
+
+    def prog(comm):
+        group = [0, 1]
+        if name == "broadcast":
+            return broadcast(comm, 1, root=3, group=group)
+        if name == "reduce":
+            return reduce_(comm, 1, lambda a, b: a + b, root=3, group=group)
+        return scatter(comm, [1, 2], root=3, group=group)
+
+    with pytest.raises(RankFailedError) as excinfo:
+        run_spmd(2, prog, timeout=0.5)
+    cause = excinfo.value.__cause__
+    assert isinstance(cause, ValueError)
+    assert f"{name}: root rank 3 is not a member of group [0, 1]" in str(cause)
+
+
+def test_broadcast_singleton_group_still_validates_root():
+    """The p == 1 early return must not skip the root-membership check."""
+    def prog(comm):
+        return broadcast(comm, 1, root=1, group=[0])
+
+    with pytest.raises(RankFailedError):
+        run_spmd(1, prog, timeout=0.5)
+
+
 def test_nonassociative_order_is_deterministic():
     """allreduce applies the operator in group order (checked via string concat)."""
 

@@ -79,7 +79,7 @@ def test_registry_exposes_all_paper_specs():
     for name in PAPER_SPECS:
         assert name in names
     # Scenario specs for sweeps beyond the paper's grids.
-    for name in ("stability", "panel", "factorization", "panel_counts"):
+    for name in ("stability", "panel", "factorization", "panel_counts", "solve"):
         assert name in names
 
 
@@ -400,6 +400,31 @@ def test_stability_prrp_spec_runs_and_is_keyed_distinctly(tmp_path):
     assert second.cached and second.rows == first.rows
     plain = store.fetch_or_run(get_spec("stability"), quick=True)
     assert plain.artifact["key"] != first.artifact["key"]
+
+
+def test_solve_spec_runs_caches_and_keys_its_axes(tmp_path):
+    """The end-to-end solve scenario: accurate row, model-validated message
+    counts, miss-then-hit caching, and distinct keys per (pivoting, nrhs)."""
+    store = ResultStore(root=tmp_path)
+    spec = get_spec("solve")
+    first = store.fetch_or_run(spec, quick=True)
+    assert not first.cached
+    (row,) = first.rows
+    assert row["max_abs_error"] < 1e-12
+    assert row["vs_sequential"] < 1e-12
+    assert row["messages_match"] is True
+    assert row["solve_messages"] == row["model_messages"]
+    second = store.fetch_or_run(spec, quick=True)
+    assert second.cached and second.rows == first.rows
+    pp = store.fetch_or_run(spec, {"pivoting": "pp"}, quick=True)
+    assert pp.artifact["key"] != first.artifact["key"]
+    assert pp.artifact["pivoting"] == "pp"
+    multi = store.fetch_or_run(spec, {"nrhs": 3}, quick=True)
+    assert multi.artifact["key"] != first.artifact["key"]
+    # Batched RHS: still matching the model (the per-phase message count is
+    # nrhs-independent; the totals differ only through the data-dependent
+    # refinement count).
+    assert multi.rows[0]["messages_match"] is True
 
 
 # ------------------------------------------------------ harness bugfix locks

@@ -99,6 +99,51 @@ def test_cost_ledger_totals_and_labels():
     assert combined.label == "phase"
 
 
+def test_cost_ledger_comparisons_field():
+    """The γ_cmp term must flow through arithmetic, time and breakdown —
+    while total_flops stays in FlopCounter.total's currency (no comparisons)."""
+    ledger = CostLedger(muladds=4, divides=1, comparisons=10)
+    assert ledger.total_flops == 5
+    summed = ledger + CostLedger(comparisons=5)
+    assert summed.comparisons == 15
+    assert ledger.scaled(2.0).comparisons == 20
+    machine = unit_machine().with_overrides(gamma=1.0, gamma_d=1.0, gamma_cmp=0.5,
+                                            alpha=0.0)
+    assert ledger.time(machine) == pytest.approx(4 + 1 + 10 * 0.5)
+    bd = ledger.breakdown(machine)
+    assert bd["arithmetic"] == pytest.approx(10.0)
+    # With gamma_cmp unset, comparisons are priced at γ (the default).
+    plain = machine.with_overrides(gamma_cmp=None)
+    assert ledger.time(plain) == pytest.approx(4 + 1 + 10)
+
+
+def test_panel_models_charge_comparisons():
+    """The simulator charges pivot-search comparisons, so the analytic panel
+    models must too — or validation drifts whenever gamma_cmp is set."""
+    from repro.models import pdgetf2_cost, tslu_cost
+
+    tslu = tslu_cost(m=1024, b=16, P=16)
+    ref = pdgetf2_cost(m=1024, b=16, P=16)
+    assert tslu.comparisons > 0
+    assert ref.comparisons > 0
+    free_cmp = unit_machine().with_overrides(gamma=1e-9, gamma_cmp=0.0, alpha=0.0)
+    costly_cmp = free_cmp.with_overrides(gamma_cmp=1e-6)
+    assert tslu.time(costly_cmp) > tslu.time(free_cmp)
+    assert ref.time(costly_cmp) > ref.time(free_cmp)
+
+
+def test_machine_rejects_negative_channel_overrides():
+    """Hierarchical-machine overrides must be validated like the defaults."""
+    base = dict(name="m", gamma=1e-9, gamma_d=1e-9, alpha=1e-6, beta=1e-9)
+    for field_name in ("alpha_row", "beta_row", "alpha_col", "beta_col"):
+        with pytest.raises(ValueError, match=field_name):
+            MachineModel(**base, **{field_name: -1.0})
+    # Valid overrides still construct.
+    model = MachineModel(**base, alpha_row=2e-6, beta_col=0.0)
+    assert model.latency("row") == pytest.approx(2e-6)
+    assert model.inv_bandwidth("col") == 0.0
+
+
 def test_cost_ledger_zero_is_neutral_element():
     zero = CostLedger()
     ledger = CostLedger(muladds=7, messages_col=2)

@@ -1,0 +1,263 @@
+"""Tests for the end-to-end distributed solve (pdtrsv + pdgesv).
+
+The contract: ``pdgesv`` must reproduce the sequential ``calu_solve``
+solution to tight tolerance on both execution engines — including
+non-power-of-two process grids and ragged ``n % b`` — batched multi-RHS
+solves must match looped single-RHS solves, refinement must converge the way
+``solve_with_refinement`` does, and the solve phase's message counts must
+match the analytic solve model exactly on the unit-latency machine.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import calu, calu_solve, solve_with_refinement
+from repro.layouts import ProcessGrid
+from repro.machines import unit_machine
+from repro.models import solve_cost, solve_message_counts, validate_solve
+from repro.parallel import pdgesv
+from repro.randmat import randn
+
+ENGINES = ("event", "threaded")
+
+
+def _system(n: int, nrhs: int, seed: int):
+    """A random system with a known O(1) solution."""
+    A = randn(n, seed=seed + n)
+    x_true = randn(n, nrhs, seed=seed + 7919)
+    return A, x_true, A @ x_true
+
+
+# ------------------------------------------------------------------ accuracy
+@pytest.mark.parametrize("engine", ENGINES)
+@pytest.mark.parametrize(
+    "n,b,pr,pc,nrhs",
+    [
+        (32, 8, 2, 2, 1),     # even split, power-of-two grid
+        (48, 8, 2, 4, 2),     # rectangular grid, multiple RHS
+        (30, 7, 2, 3, 2),     # ragged n % b, non-power-of-two P = 6
+        (33, 5, 3, 2, 1),     # ragged, non-power-of-two P, Pr > Pc
+        (24, 8, 1, 2, 1),     # single process row
+        (40, 16, 2, 1, 3),    # single process column
+    ],
+)
+def test_pdgesv_matches_sequential_calu_solve(n, b, pr, pc, nrhs, engine):
+    """The acceptance bar: distributed and sequential solutions agree to 1e-12."""
+    A, x_true, rhs = _system(n, nrhs, seed=pr * 10 + pc)
+    res = pdgesv(
+        A, rhs, ProcessGrid(pr, pc), block_size=b,
+        machine=unit_machine(), engine=engine,
+    )
+    seq = calu_solve(A, rhs, block_size=b, nblocks=pr)
+    assert np.max(np.abs(res.x - seq.x)) < 1e-12
+    assert np.max(np.abs(res.x - x_true)) < 1e-12
+    assert res.backward_errors[-1] < 1e-14
+
+
+@pytest.mark.parametrize("pivoting", ["ca", "pp", "ca_prrp"])
+def test_pdgesv_honors_pivoting_knob(pivoting):
+    A, x_true, rhs = _system(36, 2, seed=3)
+    res = pdgesv(
+        A, rhs, ProcessGrid(2, 2), block_size=8, pivoting=pivoting
+    )
+    seq = calu_solve(A, rhs, block_size=8, nblocks=2, pivoting=pivoting)
+    assert np.max(np.abs(res.x - seq.x)) < 1e-12
+    assert np.max(np.abs(res.x - x_true)) < 1e-12
+    assert res.factorization.trace.nprocs == 4
+
+
+def test_pdgesv_kernel_tier_bit_identical():
+    """The fast kernel tier must not change the simulated solution at all."""
+    A, _, rhs = _system(36, 2, seed=4)
+    grid = ProcessGrid(2, 2)
+    ref = pdgesv(A, rhs, grid, block_size=8, kernel_tier="reference")
+    fast = pdgesv(A, rhs, grid, block_size=8, kernel_tier="lapack")
+    assert np.array_equal(ref.x, fast.x)
+
+
+def test_pdgesv_cross_engine_parity():
+    """Both engines must produce identical solutions and identical traces."""
+    A, _, rhs = _system(30, 2, seed=5)
+    grid = ProcessGrid(2, 3)
+    runs = {
+        engine: pdgesv(
+            A, rhs, grid, block_size=7, machine=unit_machine(), engine=engine
+        )
+        for engine in ENGINES
+    }
+    ev, th = runs["event"], runs["threaded"]
+    assert np.array_equal(ev.x, th.x)
+    assert ev.iterations == th.iterations
+    assert ev.residual_norms == th.residual_norms
+    assert ev.per_rhs_residuals == th.per_rhs_residuals
+    assert ev.trace.total_messages == th.trace.total_messages
+    assert ev.trace.total_words == th.trace.total_words
+    assert ev.trace.critical_path_time == th.trace.critical_path_time
+
+
+def test_pdgesv_multi_rhs_matches_looped_single_rhs():
+    """Batched RHS blocks must solve each system exactly like a solo run.
+
+    ``tolerance=0`` pins the refinement count so the joint stopping test
+    cannot diverge from the per-column one.
+    """
+    A, _, rhs = _system(40, 3, seed=6)
+    grid = ProcessGrid(2, 2)
+    multi = pdgesv(A, rhs, grid, block_size=8, refine=1, tolerance=0.0)
+    singles = [
+        pdgesv(A, rhs[:, j], grid, block_size=8, refine=1, tolerance=0.0)
+        for j in range(rhs.shape[1])
+    ]
+    assert np.max(np.abs(multi.x - np.column_stack([s.x for s in singles]))) < 1e-12
+    # The message count must not grow with the number of right-hand sides.
+    assert multi.trace.total_messages == singles[0].trace.total_messages
+    # Per-RHS residual histories line up with the solo runs' (batched and
+    # per-column BLAS calls round differently, so only to roundoff scale).
+    for j, solo in enumerate(singles):
+        for step in range(len(multi.per_rhs_residuals)):
+            assert multi.per_rhs_residuals[step][j] == pytest.approx(
+                solo.per_rhs_residuals[step][0], abs=1e-13
+            )
+
+
+def test_pdgesv_vector_rhs_round_trip():
+    """A 1-D right-hand side must come back as a 1-D solution."""
+    A, x_true, rhs = _system(32, 1, seed=7)
+    res = pdgesv(A, rhs[:, 0], ProcessGrid(2, 2), block_size=8)
+    assert res.x.ndim == 1
+    assert np.max(np.abs(res.x - x_true[:, 0])) < 1e-12
+    assert len(res.per_rhs_residuals[0]) == 1
+
+
+def test_pdgesv_single_process_grid_sends_nothing():
+    A, x_true, rhs = _system(24, 1, seed=8)
+    res = pdgesv(A, rhs, ProcessGrid(1, 1), block_size=8)
+    assert res.trace.total_messages == 0
+    assert np.max(np.abs(res.x - x_true)) < 1e-12
+
+
+def test_pdgesv_input_validation():
+    with pytest.raises(ValueError, match="square"):
+        pdgesv(np.zeros((4, 3)), np.zeros(4), ProcessGrid(1, 1), block_size=2)
+    with pytest.raises(ValueError, match="rows"):
+        pdgesv(np.eye(4), np.zeros(5), ProcessGrid(1, 1), block_size=2)
+
+
+# ------------------------------------------------- refinement convergence
+@pytest.mark.parametrize("n,b,pr,pc,seed", [(48, 8, 2, 2, 0), (33, 5, 3, 2, 3)])
+def test_pdgesv_refinement_matches_sequential_regression(n, b, pr, pc, seed):
+    """Same seed, same refinement trajectory as ``solve_with_refinement``."""
+    A, _, rhs = _system(n, 1, seed=seed)
+    par = pdgesv(A, rhs, ProcessGrid(pr, pc), block_size=b)
+    seq = solve_with_refinement(A, rhs, calu(A, block_size=b, nblocks=pr))
+    assert par.iterations == seq.iterations
+    assert len(par.residual_norms) == len(seq.residual_norms)
+    assert len(par.backward_errors) == len(seq.backward_errors)
+    # Refinement must actually improve the residual and converge to the
+    # same order as the sequential path ("order of 1e-16", Section 6.1).
+    assert par.residual_norms[-1] <= par.residual_norms[0]
+    assert par.backward_errors[-1] < 1e-15
+    assert seq.backward_errors[-1] < 1e-15
+    for p, s in zip(par.residual_norms, seq.residual_norms):
+        assert p == pytest.approx(s, rel=10.0, abs=1e-18)
+    # The recorded per-step maxima are consistent with the per-RHS split.
+    for step, per_rhs in enumerate(par.per_rhs_residuals):
+        assert par.residual_norms[step] == pytest.approx(max(per_rhs))
+
+
+def test_sequential_per_rhs_residuals_recorded():
+    """``solve_with_refinement`` records the per-RHS split alongside the max."""
+    A, _, rhs = _system(50, 3, seed=11)
+    res = solve_with_refinement(A, rhs, calu(A, block_size=8, nblocks=2))
+    assert len(res.per_rhs_residuals) == len(res.residual_norms)
+    for step, per_rhs in enumerate(res.per_rhs_residuals):
+        assert len(per_rhs) == 3
+        assert res.residual_norms[step] == pytest.approx(max(per_rhs))
+
+
+# ------------------------------------------------------- model validation
+@pytest.mark.parametrize("engine", ENGINES)
+@pytest.mark.parametrize(
+    "n,b,pr,pc,nrhs",
+    [(32, 8, 2, 2, 1), (30, 7, 2, 3, 2), (33, 5, 3, 2, 1), (48, 8, 2, 4, 3)],
+)
+def test_solve_message_counts_match_model(n, b, pr, pc, nrhs, engine):
+    """On the unit-latency machine the measured solve messages are exactly
+    the solve model's prediction — per channel and in total."""
+    A, _, rhs = _system(n, nrhs, seed=13)
+    res = pdgesv(
+        A, rhs, ProcessGrid(pr, pc), block_size=b,
+        machine=unit_machine(), engine=engine,
+    )
+    check = validate_solve(
+        res.trace, n, b, pr, pc, unit_machine(),
+        nrhs=nrhs, refinements=res.iterations,
+    )
+    assert check.messages_match, (check.measured, check.predicted)
+    for key in ("words_col", "words_row", "words_any", "total_words"):
+        assert check.measured[key] == pytest.approx(check.predicted[key])
+
+
+def test_solve_message_count_independent_of_nrhs():
+    counts1 = solve_message_counts(64, 8, 2, 2, nrhs=1, refinements=2)
+    counts8 = solve_message_counts(64, 8, 2, 2, nrhs=8, refinements=2)
+    assert counts1["total_messages"] == counts8["total_messages"]
+    assert counts8["total_words"] > counts1["total_words"]
+
+
+def test_solve_cost_prices_under_machine_models():
+    from repro.machines import ibm_power5
+
+    ledger = solve_cost(1024, 32, 4, 8, nrhs=1, refinements=2)
+    assert ledger.time(unit_machine()) > 0
+    assert ledger.time(ibm_power5()) > 0
+    bd = ledger.breakdown(ibm_power5())
+    assert bd["total"] == pytest.approx(ledger.time(ibm_power5()))
+    # The solve phase is asymptotically cheaper than the factorization.
+    from repro.models import calu_cost
+
+    fact = calu_cost(1024, 1024, 32, 4, 8)
+    assert ledger.time(ibm_power5()) < fact.time(ibm_power5())
+
+
+def test_pdtrsv_reduce_messages_include_accumulation_time():
+    """Regression: the partial-sum reduce must be timestamped *after* the
+    local accumulation that produced its payload, or receivers proceed
+    before the sender's arithmetic has happened on machines with γ > 0."""
+    from repro.distsim import run_spmd
+    from repro.layouts.block_cyclic import BlockCyclic2D
+    from repro.machines import MachineModel
+    from repro.scalapack import pdtrsv_lower_unit
+
+    n, bsz = 16, 8
+    grid = ProcessGrid(1, 2)
+    dist = BlockCyclic2D(n, n, bsz, grid)
+    L = np.tril(randn(n, seed=21), -1) + np.eye(n)
+    locs = dist.scatter(L)
+    rhs_blocks = {0: {0: randn(bsz, 1, seed=22)}, 1: {1: randn(bsz, 1, seed=23)}}
+    gamma_only = MachineModel(
+        name="gamma-only", gamma=1.0, gamma_d=1.0, alpha=0.0, beta=0.0
+    )
+
+    def prog(comm):
+        pdtrsv_lower_unit(comm, dist, locs[comm.rank], rhs_blocks[comm.rank], 1)
+        return comm.trace.clock
+
+    trace = run_spmd(2, prog, machine=gamma_only)
+    # Rank 0 performs the block-0 diagonal solve *and* the off-diagonal
+    # accumulation feeding the block-1 reduce; rank 1's clock must therefore
+    # dominate the whole of rank 0's arithmetic, not just the diagonal solve.
+    assert trace.results[1] >= trace.ranks[0].flops.total
+
+
+def test_solve_simulated_time_within_model_envelope():
+    """The analytic critical path is a serial bound: the simulated (pipelined)
+    time lands below it but within a small constant factor."""
+    A, _, rhs = _system(48, 1, seed=17)
+    res = pdgesv(A, rhs, ProcessGrid(2, 2), block_size=8, machine=unit_machine())
+    check = validate_solve(
+        res.trace, 48, 8, 2, 2, unit_machine(), nrhs=1, refinements=res.iterations
+    )
+    assert 0.25 < check.time_ratio <= 1.0

@@ -5,7 +5,7 @@ exchange messages through :class:`~repro.distsim.vmpi.Communicator`, and
 every message/word/flop is charged to a per-rank trace priced under a
 :class:`~repro.machines.model.MachineModel`.
 
-Two execution backends are available (see :mod:`repro.distsim.engine`):
+Three execution backends are available (see :mod:`repro.distsim.engine`):
 
 ``threaded``
     The original backend: one OS thread per rank, OS-scheduled, with a
@@ -20,14 +20,20 @@ Two execution backends are available (see :mod:`repro.distsim.engine`):
     (no rank runnable ⇒ fail immediately), traces are bit-for-bit
     reproducible across runs, and process counts at the paper's scale
     (P = 64…888 and beyond) are practical.
+``coroutine``
+    The event engine's wake order without the threads: rank programs run as
+    generator coroutines stepped by a single host thread, and collectives are
+    evaluated as single group-level events with per-rank cost attribution.
+    Deterministic, structurally deadlock-detecting, and fast enough for
+    process counts in the thousands (P ≈ 10⁴).
 
 **Determinism guarantee** — the simulated quantities (message counts, word
 counts, flop counts, per-rank clocks and hence critical-path times) are a
 pure function of the rank programs and the machine model.  They are identical
-across *both* backends and across repeated runs; the event engine
-additionally makes the host-side execution order itself reproducible.
+across *all* backends and across repeated runs; the event and coroutine
+engines additionally make the host-side execution order itself reproducible.
 
-Select a backend with ``run_spmd(..., engine="event")``, the
+Select a backend with ``run_spmd(..., engine="coroutine")``, the
 ``REPRO_VMPI_ENGINE`` environment variable, or register your own via
 :func:`repro.distsim.engine.register_engine`.
 """
@@ -43,12 +49,19 @@ from .collectives import (
 )
 from .engine import (
     ExecutionEngine,
+    SpmdProgram,
     available_engines,
     get_engine,
     register_engine,
     resolve_engine,
+    spmd_program,
 )
-from .errors import DeadlockError, RankFailedError, SimulationError
+from .errors import (
+    DeadlockError,
+    RankFailedError,
+    SimulationError,
+    UnknownEngineError,
+)
 from .tracing import RankTrace, RunTrace
 from .vmpi import (
     DEFAULT_TIMEOUT,
@@ -65,6 +78,8 @@ __all__ = [
     "DEFAULT_TIMEOUT",
     "default_timeout",
     "ExecutionEngine",
+    "SpmdProgram",
+    "spmd_program",
     "available_engines",
     "get_engine",
     "register_engine",
@@ -74,6 +89,7 @@ __all__ = [
     "SimulationError",
     "DeadlockError",
     "RankFailedError",
+    "UnknownEngineError",
     "broadcast",
     "reduce",
     "allreduce",

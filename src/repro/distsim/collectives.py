@@ -12,18 +12,45 @@ All collectives operate over an explicit *group*: an ordered list of world
 ranks.  This is how "the column of the grid holding block-column j" or "the
 process row holding block-row j" are expressed.  Every rank in the group must
 call the collective with the same group (same order); other ranks must not.
+
+Each collective is a :class:`~repro.distsim.engine.base.SpmdProgram`: calling
+it blocks (the historical API, valid on every engine), while ``.co(...)``
+returns the resumable generator form for use inside rank coroutines
+(``value = yield from broadcast.co(comm, ...)``).  On engines that advertise
+``comm.group_collectives`` (the coroutine engine), a collective yields one
+group-level :class:`~repro.distsim.engine.base.CollectiveRequest` instead of
+walking its point-to-point tree; the scheduler evaluates the same tree
+centrally (:mod:`repro.distsim.engine.group_ops`) with bit-identical per-rank
+cost attribution, so traces match across engines either way.
 """
 
 from __future__ import annotations
 
 from typing import Any, Callable, List, Optional, Sequence
 
+from .engine.base import CollectiveRequest, spmd_program
 from .vmpi import Communicator
+
+
+def _norm_group(comm: Communicator, group: Optional[Sequence[int]]) -> Sequence[int]:
+    """Canonical group form: ``range`` for the whole world, tuple otherwise.
+
+    The default all-ranks group is kept as a ``range`` object because every
+    participant of a group-level collective hashes and position-indexes its
+    group — with a materialized list that is O(P) per rank, O(P²) per
+    collective, which dominates whole-world collectives at large P.  A
+    ``range`` hashes, compares and ``index``-es in O(1).
+    """
+    if group is None:
+        return range(comm.size)
+    if isinstance(group, range):
+        return group
+    return tuple(group)
 
 
 def _position(comm: Communicator, group: Sequence[int]) -> int:
     try:
-        return list(group).index(comm.rank)
+        return group.index(comm.rank)
     except ValueError as exc:
         raise ValueError(
             f"rank {comm.rank} called a collective for group {list(group)} "
@@ -35,17 +62,18 @@ def _root_position(name: str, root: int, group: Sequence[int]) -> int:
     """Position of ``root`` in ``group``, validated up front.
 
     A rooted collective whose root is outside the group would otherwise die
-    on a bare ``list.index`` ValueError somewhere mid-tree — this raises a
+    on a bare ``index`` ValueError somewhere mid-tree — this raises a
     diagnosable error naming the collective, the root and the group instead.
     """
     try:
-        return list(group).index(root)
+        return group.index(root)
     except ValueError:
         raise ValueError(
             f"{name}: root rank {root} is not a member of group {list(group)}"
         ) from None
 
 
+@spmd_program
 def broadcast(
     comm: Communicator,
     value: Any,
@@ -76,19 +104,31 @@ def broadcast(
     -------
     The broadcast value on every rank of the group.
     """
-    group = list(group) if group is not None else list(range(comm.size))
+    group = _norm_group(comm, group)
     p = len(group)
     me = _position(comm, group)
     rootpos = _root_position("broadcast", root, group)
     if p == 1:
         return value
+    if comm.group_collectives:
+        return (
+            yield CollectiveRequest(
+                kind="broadcast",
+                group=group,
+                pos=me,
+                rootpos=rootpos,
+                value=value,
+                op=None,
+                tag=tag,
+                channel=channel,
+            )
+        )
     # Re-index so the root is position 0.
     vrank = (me - rootpos) % p
 
     # Binomial tree: in round k, ranks with vrank < 2**k that have the data
     # send it to vrank + 2**k.
-    have = vrank == 0
-    received = value if have else None
+    received = value if vrank == 0 else None
     k = 1
     while k < p:
         if vrank < k and vrank + k < p:
@@ -96,11 +136,12 @@ def broadcast(
             comm.send(dest, received, tag=(tag, k), channel=channel)
         elif k <= vrank < 2 * k:
             src = group[(vrank - k + rootpos) % p]
-            received = comm.recv(src, tag=(tag, k))
+            received = yield from comm.co_recv(src, tag=(tag, k))
         k *= 2
     return received
 
 
+@spmd_program
 def reduce(
     comm: Communicator,
     value: Any,
@@ -116,10 +157,23 @@ def reduce(
     applied as ``op(partial_from_child, own_partial)``; for commutative
     operators the order is irrelevant.
     """
-    group = list(group) if group is not None else list(range(comm.size))
+    group = _norm_group(comm, group)
     p = len(group)
     me = _position(comm, group)
     rootpos = _root_position("reduce", root, group)
+    if comm.group_collectives and p > 1:
+        return (
+            yield CollectiveRequest(
+                kind="reduce",
+                group=group,
+                pos=me,
+                rootpos=rootpos,
+                value=value,
+                op=op,
+                tag=tag,
+                channel=channel,
+            )
+        )
     vrank = (me - rootpos) % p
 
     acc = value
@@ -129,7 +183,7 @@ def reduce(
             partner = vrank + k
             if partner < p:
                 src = group[(partner + rootpos) % p]
-                other = comm.recv(src, tag=(tag, k))
+                other = yield from comm.co_recv(src, tag=(tag, k))
                 acc = op(other, acc)
         elif vrank % (2 * k) == k:
             dest = group[(vrank - k + rootpos) % p]
@@ -139,6 +193,7 @@ def reduce(
     return acc if comm.rank == root else None
 
 
+@spmd_program
 def allreduce(
     comm: Communicator,
     value: Any,
@@ -158,11 +213,24 @@ def allreduce(
     nearest power of two first (one extra step), as standard MPI
     implementations do.
     """
-    group = list(group) if group is not None else list(range(comm.size))
+    group = _norm_group(comm, group)
     p = len(group)
     me = _position(comm, group)
     if p == 1:
         return value
+    if comm.group_collectives:
+        return (
+            yield CollectiveRequest(
+                kind="allreduce",
+                group=group,
+                pos=me,
+                rootpos=0,
+                value=value,
+                op=op,
+                tag=tag,
+                channel=channel,
+            )
+        )
 
     # Largest power of two <= p.
     pow2 = 1
@@ -176,14 +244,14 @@ def allreduce(
         dest = group[me - pow2]
         comm.send(dest, acc, tag=(tag, "fold"), channel=channel)
     elif me < rem:
-        other = comm.recv(group[me + pow2], tag=(tag, "fold"))
+        other = yield from comm.co_recv(group[me + pow2], tag=(tag, "fold"))
         acc = op(other, acc)
 
     if me < pow2:
         k = 1
         while k < pow2:
             partner = me ^ k
-            other = comm.sendrecv(
+            other = yield from comm.co_sendrecv(
                 group[partner], acc, tag=(tag, k), channel=channel
             )
             # Keep a deterministic order: lower position's contribution first.
@@ -194,10 +262,11 @@ def allreduce(
     if me < rem:
         comm.send(group[me + pow2], acc, tag=(tag, "unfold"), channel=channel)
     elif me >= pow2:
-        acc = comm.recv(group[me - pow2], tag=(tag, "unfold"))
+        acc = yield from comm.co_recv(group[me - pow2], tag=(tag, "unfold"))
     return acc
 
 
+@spmd_program
 def gather(
     comm: Communicator,
     value: Any,
@@ -212,13 +281,16 @@ def gather(
         out.update(a)
         return out
 
-    me = _position(comm, list(group) if group is not None else list(range(comm.size)))
-    result = reduce(comm, {me: value}, merge, root, group=group, tag=tag, channel=channel)
+    me = _position(comm, _norm_group(comm, group))
+    result = yield from reduce.co(
+        comm, {me: value}, merge, root, group=group, tag=tag, channel=channel
+    )
     if comm.rank == root and result is not None:
         return [result[i] for i in sorted(result)]
     return None
 
 
+@spmd_program
 def allgather(
     comm: Communicator,
     value: Any,
@@ -227,7 +299,7 @@ def allgather(
     channel: str = "any",
 ) -> List[Any]:
     """Butterfly all-gather; every rank receives the list of contributions in group order."""
-    grp = list(group) if group is not None else list(range(comm.size))
+    grp = _norm_group(comm, group)
     me = _position(comm, grp)
 
     def merge(a: dict, b: dict) -> dict:
@@ -235,10 +307,13 @@ def allgather(
         out.update(a)
         return out
 
-    combined = allreduce(comm, {me: value}, merge, group=grp, tag=tag, channel=channel)
+    combined = yield from allreduce.co(
+        comm, {me: value}, merge, group=grp, tag=tag, channel=channel
+    )
     return [combined[i] for i in sorted(combined)]
 
 
+@spmd_program
 def scatter(
     comm: Communicator,
     values: Optional[Sequence[Any]],
@@ -252,20 +327,34 @@ def scatter(
     Implemented as root-sends (linear), which is how ScaLAPACK distributes
     small per-process payloads; the latency cost is attributed to the root.
     """
-    group = list(group) if group is not None else list(range(comm.size))
+    group = _norm_group(comm, group)
     me = _position(comm, group)
     rootpos = _root_position("scatter", root, group)
+    if comm.rank == root and (values is None or len(values) != len(group)):
+        raise ValueError("root must supply one value per group member")
+    if comm.group_collectives and len(group) > 1:
+        return (
+            yield CollectiveRequest(
+                kind="scatter",
+                group=group,
+                pos=me,
+                rootpos=rootpos,
+                value=list(values) if comm.rank == root else None,
+                op=None,
+                tag=tag,
+                channel=channel,
+            )
+        )
     if comm.rank == root:
-        if values is None or len(values) != len(group):
-            raise ValueError("root must supply one value per group member")
         for pos, dest in enumerate(group):
             if dest == root:
                 continue
             comm.send(dest, values[pos], tag=(tag, pos), channel=channel)
         return values[rootpos]
-    return comm.recv(root, tag=(tag, me))
+    return (yield from comm.co_recv(root, tag=(tag, me)))
 
 
+@spmd_program
 def barrier(
     comm: Communicator,
     group: Optional[Sequence[int]] = None,
@@ -273,4 +362,4 @@ def barrier(
     channel: str = "any",
 ) -> None:
     """Synchronise all ranks of the group (an all-reduce of nothing)."""
-    allreduce(comm, 0, lambda a, b: 0, group=group, tag=tag, channel=channel)
+    yield from allreduce.co(comm, 0, lambda a, b: 0, group=group, tag=tag, channel=channel)

@@ -1,7 +1,7 @@
 """Pluggable execution engines for the virtual MPI.
 
 An engine decides how the ``P`` rank programs of an SPMD run execute on the
-host; the simulated cost model is engine-independent.  Two backends ship:
+host; the simulated cost model is engine-independent.  Three backends ship:
 
 ``threaded``
     One OS thread per rank, OS-scheduled, timeout-guarded receives — the
@@ -11,10 +11,16 @@ host; the simulated cost model is engine-independent.  Two backends ship:
     handoff ordered by simulated clock): bit-for-bit reproducible traces,
     structural deadlock detection, and practical at paper-scale process
     counts (``P`` ≥ 888).
+``coroutine``
+    Deterministic single-threaded generator-coroutine scheduler with
+    vectorized group-level collectives: no threads at all, so process
+    counts in the thousands (``P`` ≈ 10⁴) run in seconds.  Traces are
+    bit-identical to the event engine's; non-generator rank programs fall
+    back to the event engine's machinery transparently.
 
-Select an engine per call (``run_spmd(..., engine="event")``), process-wide
-via the ``REPRO_VMPI_ENGINE`` environment variable, or register a custom one
-with :func:`register_engine`.
+Select an engine per call (``run_spmd(..., engine="coroutine")``),
+process-wide via the ``REPRO_VMPI_ENGINE`` environment variable, or register
+a custom one with :func:`register_engine`.
 """
 
 from __future__ import annotations
@@ -22,14 +28,23 @@ from __future__ import annotations
 import os
 from typing import Callable, Dict, Optional, Union
 
+from ..errors import UnknownEngineError
 from .base import (
     DEFAULT_TIMEOUT,
+    CollectiveRequest,
     Communicator,
     Envelope,
     ExecutionEngine,
+    RecvRequest,
+    SpmdProgram,
+    call_rank_program,
+    coroutine_entry,
     default_timeout,
+    drive,
     payload_words,
+    spmd_program,
 )
+from .coroutine import CoroutineCommunicator, CoroutineEngine
 from .event import EventCommunicator, EventEngine
 from .threaded import ThreadedCommunicator, ThreadedEngine
 
@@ -39,6 +54,7 @@ DEFAULT_ENGINE = "threaded"
 _REGISTRY: Dict[str, Callable[[], ExecutionEngine]] = {
     ThreadedEngine.name: ThreadedEngine,
     EventEngine.name: EventEngine,
+    CoroutineEngine.name: CoroutineEngine,
 }
 
 _ALIASES = {
@@ -46,6 +62,9 @@ _ALIASES = {
     "threads": "threaded",
     "event-driven": "event",
     "deterministic": "event",
+    "coro": "coroutine",
+    "coroutines": "coroutine",
+    "generator": "coroutine",
 }
 
 
@@ -67,9 +86,7 @@ def get_engine(name: str) -> ExecutionEngine:
     """
     factory = _REGISTRY.get(name) or _REGISTRY.get(_ALIASES.get(name, name))
     if factory is None:
-        raise ValueError(
-            f"unknown execution engine {name!r}; available: {available_engines()}"
-        )
+        raise UnknownEngineError(name, available_engines())
     return factory()
 
 
@@ -95,17 +112,26 @@ def resolve_engine(
 
 
 __all__ = [
+    "CollectiveRequest",
     "Communicator",
     "Envelope",
     "ExecutionEngine",
+    "RecvRequest",
+    "SpmdProgram",
     "ThreadedCommunicator",
     "ThreadedEngine",
     "EventCommunicator",
     "EventEngine",
+    "CoroutineCommunicator",
+    "CoroutineEngine",
     "DEFAULT_ENGINE",
     "DEFAULT_TIMEOUT",
+    "call_rank_program",
+    "coroutine_entry",
     "default_timeout",
+    "drive",
     "payload_words",
+    "spmd_program",
     "available_engines",
     "register_engine",
     "get_engine",

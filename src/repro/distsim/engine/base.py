@@ -25,21 +25,40 @@ which it could later mutate the buffer, so ownership can be transferred to
 the receiver without a copy.  The words charged are identical either way;
 only the defensive ``ndarray.copy()`` is skipped.  Elided sends are counted
 in :attr:`~repro.distsim.tracing.RankTrace.zero_copy_sends`.
+
+The coroutine protocol
+----------------------
+Rank programs may be written as *generator coroutines*: instead of blocking
+inside :meth:`Communicator.recv`, they ``yield`` a :class:`RecvRequest` (via
+:meth:`Communicator.co_recv`) or a :class:`CollectiveRequest` (via the group
+branch of :mod:`repro.distsim.collectives`) and are resumed with the matched
+envelope / collective result.  ``send`` never blocks in this simulator, so a
+receive is the only suspension point and the protocol stays tiny.
+
+Engines that park a real thread per rank run such programs through
+:func:`drive`, a trampoline that services each yielded request against the
+communicator's blocking transport — so one body works on every engine.  The
+single-threaded coroutine engine instead schedules the generators natively.
+:class:`SpmdProgram` packages both interfaces behind one name: calling the
+wrapped routine blocks (the historical API), ``routine.co(...)`` returns the
+resumable generator for use inside an enclosing coroutine (``yield from``).
 """
 
 from __future__ import annotations
 
+import functools
+import inspect
 import os
 import sys
 from abc import ABC, abstractmethod
 from dataclasses import dataclass
-from typing import Any, Callable, List, Optional, Tuple
+from typing import Any, Callable, List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from ...kernels.flops import FlopCounter
 from ...machines.model import MachineModel
-from ..errors import DeadlockError, RankFailedError
+from ..errors import DeadlockError, RankFailedError, SimulationError
 from ..tracing import RankTrace, RunTrace
 
 #: Fallback number of seconds a blocking receive waits before declaring
@@ -89,6 +108,43 @@ class Envelope:
     payload: Any
     words: float
     available_at: float  # simulated time at which the receiver may consume it
+
+
+@dataclass
+class RecvRequest:
+    """Yielded by a rank coroutine to suspend until a matching message arrives.
+
+    The scheduler (or the blocking trampoline) resumes the coroutine with the
+    matched :class:`Envelope`; all receive-side accounting stays inside
+    :meth:`Communicator.co_recv`, engine-independent.
+    """
+
+    source: int
+    tag: Any
+
+
+@dataclass
+class CollectiveRequest:
+    """Yielded by a rank coroutine to join a single group-level collective.
+
+    Engines advertising ``group_collectives`` rendezvous all ``len(group)``
+    participants on one event keyed by ``(kind, group, tag, channel,
+    rootpos)`` and evaluate the collective centrally with exact per-rank cost
+    attribution (:mod:`repro.distsim.engine.group_ops`); the coroutine is
+    resumed with its rank's result.  Engines without group delivery never see
+    this request — the collectives fall back to their point-to-point trees.
+    """
+
+    kind: str  # "broadcast" | "reduce" | "allreduce" | "scatter"
+    #: Participating world ranks in group order: a tuple, or a ``range`` for
+    #: the default all-ranks group (hashes and ``index``-es in O(1)).
+    group: Sequence[int]
+    pos: int  # caller's position within ``group``
+    rootpos: int  # root's position within ``group`` (0 for unrooted kinds)
+    value: Any
+    op: Optional[Callable[[Any, Any], Any]]
+    tag: Any
+    channel: str
 
 
 def _calibrate_fresh_refcount() -> int:
@@ -145,6 +201,10 @@ class Communicator(ABC):
     #: Engines that serialize or otherwise control rank execution may enable
     #: defensive-copy elision for provably unaliased payloads.
     copy_elision: bool = False
+
+    #: Engines that rendezvous collectives as single group-level events set
+    #: this; the collectives in :mod:`repro.distsim.collectives` branch on it.
+    group_collectives: bool = False
 
     def __init__(
         self,
@@ -282,6 +342,46 @@ class Communicator(ABC):
         self.send(dest, payload, tag=tag, channel=channel)
         return self.recv(source, tag=tag)
 
+    # ------------------------------------------------------ coroutine protocol
+    def co_recv(self, source: int, tag: Any = 0):
+        """Coroutine form of :meth:`recv`: ``payload = yield from comm.co_recv(...)``.
+
+        Yields a :class:`RecvRequest` and is resumed with the matched
+        envelope.  The accounting is exactly :meth:`recv`'s — same counters,
+        same clock synchronisation — so traces are engine-independent.
+        """
+        env = yield RecvRequest(source, tag)
+        self._trace.record_recv(env.words)
+        self._trace.clock = max(self._trace.clock, env.available_at)
+        return env.payload
+
+    def co_sendrecv(
+        self,
+        dest: int,
+        payload: Any,
+        source: Optional[int] = None,
+        tag: Any = 0,
+        channel: str = "any",
+    ):
+        """Coroutine form of :meth:`sendrecv` (the send part never blocks)."""
+        if source is None:
+            source = dest
+        self.send(dest, payload, tag=tag, channel=channel)
+        return (yield from self.co_recv(source, tag=tag))
+
+    def _service(self, request: Any) -> Any:
+        """Blocking fulfilment of a yielded request (used by :func:`drive`)."""
+        if isinstance(request, RecvRequest):
+            return self._match(request.source, request.tag)
+        if isinstance(request, CollectiveRequest):
+            raise SimulationError(
+                f"engine cannot service a group-level {request.kind} collective; "
+                "group delivery requires a scheduler with rendezvous support"
+            )
+        raise SimulationError(
+            f"rank coroutine yielded an unknown request: {request!r}"
+        )
+
     # ---------------------------------------------------------------- helpers
     def _prepare_payload(self, arr: np.ndarray) -> Tuple[np.ndarray, bool]:
         """Return the array to enqueue and whether the defensive copy was elided."""
@@ -297,6 +397,99 @@ class Communicator(ABC):
     @abstractmethod
     def _match(self, source: int, tag: Any) -> Envelope:
         """Block until a message matching ``(source, tag)`` is available."""
+
+
+def drive(comm: Communicator, gen) -> Any:
+    """Run a rank coroutine to completion against blocking transport.
+
+    The compatibility shim between the coroutine protocol and the
+    thread-parking engines: each yielded request is serviced through the
+    communicator's blocking primitives, and transport errors (e.g.
+    :class:`~repro.distsim.errors.DeadlockError`) are thrown *into* the
+    generator so they surface at the receive call site, exactly as the
+    blocking API raises them.
+    """
+    try:
+        request = gen.send(None)
+        while True:
+            try:
+                response = comm._service(request)
+            except BaseException as exc:  # noqa: BLE001 - rethrown at the yield
+                request = gen.throw(exc)
+            else:
+                request = gen.send(response)
+    except StopIteration as stop:
+        return stop.value
+
+
+def call_rank_program(fn: Callable[..., Any], comm: Communicator, args, kwargs) -> Any:
+    """Invoke a rank program that may be plain, a generator, or dual-interface.
+
+    Thread-parking engines call this from each rank's worker: legacy blocking
+    functions run as before, while generator-based bodies (including
+    :class:`SpmdProgram` wrappers, whose ``__call__`` already drives) are
+    driven to completion through :func:`drive`.
+    """
+    out = fn(comm, *args, **kwargs)
+    if inspect.isgenerator(out):
+        return drive(comm, out)
+    return out
+
+
+class SpmdProgram:
+    """Dual-interface SPMD routine: blocking call or resumable coroutine.
+
+    Wraps a generator function ``gen_fn(comm, *args, **kwargs)`` whose first
+    argument is the calling rank's communicator.  Calling the wrapper runs
+    the generator to completion against the communicator's blocking transport
+    (the historical API, valid on every engine); ``.co(...)`` returns the raw
+    generator for engines — or enclosing coroutines — that schedule the
+    suspension points themselves (``result = yield from program.co(...)``).
+    """
+
+    def __init__(self, gen_fn: Callable[..., Any]) -> None:
+        if not inspect.isgeneratorfunction(gen_fn):
+            raise TypeError(
+                f"SpmdProgram requires a generator function, got {gen_fn!r}"
+            )
+        self._gen_fn = gen_fn
+        functools.update_wrapper(self, gen_fn)
+
+    def co(self, comm: Communicator, *args: Any, **kwargs: Any):
+        """The resumable coroutine form (for ``yield from`` composition)."""
+        return self._gen_fn(comm, *args, **kwargs)
+
+    def __call__(self, comm: Communicator, *args: Any, **kwargs: Any) -> Any:
+        return drive(comm, self._gen_fn(comm, *args, **kwargs))
+
+
+def spmd_program(gen_fn: Callable[..., Any]) -> SpmdProgram:
+    """Decorator form of :class:`SpmdProgram`."""
+    return SpmdProgram(gen_fn)
+
+
+def coroutine_entry(fn: Callable[..., Any]) -> Optional[Callable[..., Any]]:
+    """Resolve a rank program to a generator factory, or ``None`` if blocking.
+
+    Returns a callable ``entry(comm, *args, **kwargs)`` producing the rank's
+    resumable generator: the function itself for (possibly ``partial``-bound)
+    generator functions, the ``.co`` interface for :class:`SpmdProgram`
+    wrappers (rebuilding any ``partial`` chain over it).  ``None`` means the
+    program is a plain blocking callable and needs an engine that can park.
+    """
+    target = fn
+    wrappers: List[functools.partial] = []
+    while isinstance(target, functools.partial):
+        wrappers.append(target)
+        target = target.func
+    if isinstance(target, SpmdProgram):
+        entry: Callable[..., Any] = target.co
+        for w in reversed(wrappers):
+            entry = functools.partial(entry, *w.args, **(w.keywords or {}))
+        return entry
+    if inspect.isgeneratorfunction(target):
+        return fn
+    return None
 
 
 class ExecutionEngine(ABC):

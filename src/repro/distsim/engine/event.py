@@ -40,7 +40,7 @@ from typing import Any, Callable, Dict, List, Optional, Tuple
 from ...machines.model import MachineModel
 from ..errors import DeadlockError
 from ..tracing import RankTrace, RunTrace
-from .base import Communicator, Envelope, ExecutionEngine
+from .base import Communicator, Envelope, ExecutionEngine, call_rank_program
 
 _READY = "ready"
 _BLOCKED = "blocked"
@@ -168,9 +168,13 @@ class _Scheduler:
             f"rank {s.rank} waiting for (source={s.waiting[0]}, tag={s.waiting[1]!r})"
             for s in blocked
         )
+        info = {
+            s.rank: {"source": s.waiting[0], "tag": s.waiting[1]} for s in blocked
+        }
         for s in blocked:
             s.pending_exc = DeadlockError(
-                f"structural deadlock: no rank is runnable [{waits}]"
+                f"structural deadlock: no rank is runnable [{waits}]",
+                blocked=info,
             )
             s.status = _READY
             s.waiting = None
@@ -205,7 +209,7 @@ class EventEngine(ExecutionEngine):
             st.resume.wait()
             st.resume.clear()
             try:
-                results[st.rank] = fn(st.comm, *args, **kwargs)
+                results[st.rank] = call_rank_program(fn, st.comm, args, kwargs)
             except BaseException as exc:  # noqa: BLE001 - reported to the caller
                 failures[st.rank] = exc
             finally:

@@ -1,0 +1,240 @@
+"""Central evaluation of group-level collectives (coroutine engine).
+
+When every participant of a collective has yielded its
+:class:`~repro.distsim.engine.base.CollectiveRequest`, the scheduler hands
+the whole group to :func:`evaluate_collective`, which replays the *same*
+communication tree the point-to-point implementation in
+:mod:`repro.distsim.collectives` would walk — binomial broadcast/reduce,
+fold + recursive-doubling butterfly + unfold for the all-reduce, linear
+root-sends for the scatter — but as plain Python loops over the group,
+charging each participant's trace directly.
+
+The contract is **bit identity** with the point-to-point evaluation, pinned
+by the cross-engine parity suite.  That dictates several details mirrored
+from ``collectives.py`` and ``Communicator.send``/``recv`` exactly:
+
+* per edge, the sender records the send and advances its clock *before* the
+  receiver records the receive and max-syncs with the sender's post-send
+  clock (the envelope's ``available_at``);
+* within one butterfly round, both partners send before either receives —
+  ``sendrecv`` order — so a round's ``available_at`` values never include
+  the same round's operator applications;
+* operator applications use each *receiver's own* submitted closure (ops in
+  this codebase charge flops through the communicator they close over) in
+  the exact association order of the tree: ``op(other, own)`` for reduce and
+  the fold, ``op(other, acc) if partner < me else op(acc, other)`` in the
+  butterfly;
+* top-level ndarray payloads are copied per edge (what ``send`` does
+  defensively); tuples/dicts are shared by reference, as point-to-point
+  delivery shares them.  Collective payloads are always name-bound at their
+  send sites, so the point-to-point path never copy-elides them — the
+  central path therefore records plain (non-zero-copy) sends, keeping
+  ``zero_copy_sends`` identical too.
+
+One collective here replaces ``O(P)`` scheduler suspensions and envelope
+deliveries with a single event — the vectorization that lets the coroutine
+engine run figure-scale sweeps at ``P`` in the thousands.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from .base import Communicator, payload_words
+
+
+def _ship(payload: Any) -> Any:
+    """Per-edge payload transfer: defensive copy for top-level ndarrays only."""
+    if isinstance(payload, np.ndarray):
+        return payload.copy()
+    return payload
+
+
+class _Edge:
+    """One group position's charging state, with α/β hoisted out of the loops.
+
+    A collective charges O(P log P) edges in tight Python loops, so the
+    per-edge path avoids repeated property lookups and the
+    ``message_time`` → ``latency``/``inv_bandwidth`` call chain: the
+    channel-resolved α and β are constant for the collective's lifetime, and
+    ``α + words·β`` is the exact expression ``MachineModel.message_time``
+    evaluates, so clocks stay bit-identical.
+    """
+
+    __slots__ = ("trace", "alpha", "beta")
+
+    def __init__(self, comm: Communicator, channel: str) -> None:
+        self.trace = comm.trace
+        self.alpha = comm.machine.latency(channel)
+        self.beta = comm.machine.inv_bandwidth(channel)
+
+    def charge_send(self, payload: Any, channel: str) -> Tuple[float, float]:
+        """Record one send and return ``(words, available_at)``."""
+        words = payload_words(payload)
+        trace = self.trace
+        trace.record_send(words, channel)
+        trace.clock += self.alpha + words * self.beta
+        return words, trace.clock
+
+    def charge_recv(self, words: float, available_at: float) -> None:
+        """Record one receive and max-sync the clock."""
+        trace = self.trace
+        trace.record_recv(words)
+        if available_at > trace.clock:
+            trace.clock = available_at
+
+
+def _eval_broadcast(
+    edges: Sequence[_Edge],
+    values: Sequence[Any],
+    rootpos: int,
+    channel: str,
+) -> List[Any]:
+    """Binomial-tree broadcast, root re-indexed to virtual rank 0."""
+    p = len(edges)
+    by_v = [edges[(v + rootpos) % p] for v in range(p)]
+    data: List[Any] = [None] * p  # indexed by virtual rank
+    data[0] = values[rootpos]
+    k = 1
+    while k < p:
+        for v in range(min(k, p)):
+            if v + k < p:
+                payload = _ship(data[v])
+                words, avail = by_v[v].charge_send(data[v], channel)
+                by_v[v + k].charge_recv(words, avail)
+                data[v + k] = payload
+        k *= 2
+    return [data[(pos - rootpos) % p] for pos in range(p)]
+
+
+def _eval_reduce(
+    edges: Sequence[_Edge],
+    values: Sequence[Any],
+    ops: Sequence[Callable[[Any, Any], Any]],
+    rootpos: int,
+    channel: str,
+) -> List[Any]:
+    """Binomial-tree reduction to the root's position; ``None`` elsewhere."""
+    p = len(edges)
+    by_v = [edges[(v + rootpos) % p] for v in range(p)]
+    ops_v = [ops[(v + rootpos) % p] for v in range(p)]
+    acc: List[Any] = [values[(v + rootpos) % p] for v in range(p)]
+    k = 1
+    while k < p:
+        # Virtual ranks with vrank % 2k == k each send to vrank - k, which
+        # folds the contribution in with its own submitted operator.
+        for v in range(k, p, 2 * k):
+            dest = v - k
+            payload = _ship(acc[v])
+            words, avail = by_v[v].charge_send(acc[v], channel)
+            by_v[dest].charge_recv(words, avail)
+            acc[dest] = ops_v[dest](payload, acc[dest])
+        k *= 2
+    return [acc[0] if pos == rootpos else None for pos in range(p)]
+
+
+def _eval_allreduce(
+    edges: Sequence[_Edge],
+    values: Sequence[Any],
+    ops: Sequence[Callable[[Any, Any], Any]],
+    channel: str,
+) -> List[Any]:
+    """Fold + recursive-doubling butterfly + unfold, by group position."""
+    p = len(edges)
+    pow2 = 1
+    while pow2 * 2 <= p:
+        pow2 *= 2
+    rem = p - pow2
+
+    acc: List[Any] = list(values)
+    # Fold the excess ranks onto their partners below the power-of-two line.
+    for me in range(pow2, p):
+        dest = me - pow2
+        payload = _ship(acc[me])
+        words, avail = edges[me].charge_send(acc[me], channel)
+        edges[dest].charge_recv(words, avail)
+        acc[dest] = ops[dest](payload, acc[dest])
+
+    k = 1
+    while k < pow2:
+        # sendrecv semantics: every rank's send (and hence its partner's
+        # available_at) precedes every receive and operator of this round.
+        payloads: List[Any] = [None] * pow2
+        words_sent: List[float] = [0.0] * pow2
+        avails: List[float] = [0.0] * pow2
+        for me in range(pow2):
+            payloads[me] = _ship(acc[me])
+            words_sent[me], avails[me] = edges[me].charge_send(acc[me], channel)
+        for me in range(pow2):
+            partner = me ^ k
+            edges[me].charge_recv(words_sent[partner], avails[partner])
+        nxt: List[Any] = [None] * pow2
+        for me in range(pow2):
+            partner = me ^ k
+            other = payloads[partner]
+            # Deterministic association order: lower position's contribution
+            # first, exactly as the point-to-point butterfly applies it.
+            nxt[me] = ops[me](other, acc[me]) if partner < me else ops[me](acc[me], other)
+        acc[:pow2] = nxt
+        k *= 2
+
+    # Un-fold: ship the finished result back up across the line.
+    for me in range(rem):
+        dest = me + pow2
+        payload = _ship(acc[me])
+        words, avail = edges[me].charge_send(acc[me], channel)
+        edges[dest].charge_recv(words, avail)
+        acc[dest] = payload
+    return acc
+
+
+def _eval_scatter(
+    edges: Sequence[_Edge],
+    root_values: Sequence[Any],
+    rootpos: int,
+    channel: str,
+) -> List[Any]:
+    """Linear root-sends in group order; the root keeps its own element."""
+    p = len(edges)
+    results: List[Any] = [None] * p
+    root = edges[rootpos]
+    for pos in range(p):
+        if pos == rootpos:
+            continue
+        payload = _ship(root_values[pos])
+        words, avail = root.charge_send(root_values[pos], channel)
+        edges[pos].charge_recv(words, avail)
+        results[pos] = payload
+    results[rootpos] = root_values[rootpos]
+    return results
+
+
+def evaluate_collective(
+    comms: Sequence[Communicator],
+    kind: str,
+    values: Sequence[Any],
+    ops: Sequence[Optional[Callable[[Any, Any], Any]]],
+    rootpos: int,
+    channel: str,
+) -> List[Any]:
+    """Evaluate one rendezvoused collective; returns per-position results.
+
+    ``comms``/``values``/``ops`` are indexed by group position (the order of
+    the collective's ``group`` list).  Every participant's
+    ``group_collectives`` diagnostic counter is bumped; all other counters
+    follow the point-to-point tree exactly.
+    """
+    edges = [_Edge(comm, channel) for comm in comms]
+    for edge in edges:
+        edge.trace.group_collectives += 1
+    if kind == "broadcast":
+        return _eval_broadcast(edges, values, rootpos, channel)
+    if kind == "reduce":
+        return _eval_reduce(edges, values, ops, rootpos, channel)
+    if kind == "allreduce":
+        return _eval_allreduce(edges, values, ops, channel)
+    if kind == "scatter":
+        return _eval_scatter(edges, values, rootpos, channel)
+    raise ValueError(f"unknown collective kind {kind!r}")

@@ -23,7 +23,7 @@ from typing import Any, Callable, Dict, List, Sequence, Tuple
 from ...machines.model import MachineModel
 from ..errors import DeadlockError
 from ..tracing import RankTrace, RunTrace
-from .base import Communicator, Envelope, ExecutionEngine
+from .base import Communicator, Envelope, ExecutionEngine, call_rank_program
 
 
 class ThreadedCommunicator(Communicator):
@@ -56,7 +56,8 @@ class ThreadedCommunicator(Communicator):
             except queue.Empty as exc:
                 raise DeadlockError(
                     f"rank {self._rank} timed out waiting for message "
-                    f"(source={source}, tag={tag!r})"
+                    f"(source={source}, tag={tag!r})",
+                    blocked={self._rank: {"source": source, "tag": tag}},
                 ) from exc
             if env.source == source and env.tag == tag:
                 return env
@@ -88,7 +89,7 @@ class ThreadedEngine(ExecutionEngine):
                 rank, nprocs, mailboxes, machine, traces[rank], timeout
             )
             try:
-                results[rank] = fn(comm, *args, **kwargs)
+                results[rank] = call_rank_program(fn, comm, args, kwargs)
             except BaseException as exc:  # noqa: BLE001 - reported to the caller
                 failures[rank] = exc
 

@@ -7,13 +7,43 @@ class SimulationError(RuntimeError):
     """Base class for errors raised by the virtual MPI runtime."""
 
 
+class UnknownEngineError(SimulationError, ValueError):
+    """An ``engine=`` / ``REPRO_VMPI_ENGINE`` value names no registered engine.
+
+    Subclasses :class:`ValueError` for backwards compatibility with callers
+    that caught the old bare error.  The message lists the registered engine
+    names; :attr:`available` carries them programmatically.
+    """
+
+    def __init__(self, name, available):
+        self.name = name
+        self.available = list(available)
+        super().__init__(
+            f"unknown execution engine {name!r}; available: {self.available}"
+        )
+
+
 class DeadlockError(SimulationError):
     """A rank waited longer than the configured timeout for a message.
 
     In a correct SPMD program running under the simulator every receive is
     eventually matched by a send; a timeout therefore indicates a communication
     mismatch (wrong tag, wrong peer, or a rank that exited early).
+
+    Attributes
+    ----------
+    blocked:
+        Structured description of what each blocked rank was waiting on:
+        a mapping ``rank -> {"source": int, "tag": ...}`` for point-to-point
+        waits, or ``rank -> {"collective": kind, "tag": ..., "group": (...)}``
+        for ranks parked inside an unmatched group collective.  Engines that
+        detect deadlock structurally fill it for every blocked rank; the
+        threaded engine's timeout fills it for the timed-out rank only.
     """
+
+    def __init__(self, message, blocked=None):
+        super().__init__(message)
+        self.blocked = dict(blocked or {})
 
 
 class RankFailedError(SimulationError):

@@ -45,6 +45,14 @@ class RankTrace:
         engine proved the payload could not alias (see
         :mod:`repro.distsim.engine.base`).  Purely diagnostic — the words
         charged are identical either way.
+    group_collectives:
+        Number of collectives this rank completed through a single group-level
+        event instead of point-to-point messages (coroutine engine only; see
+        :mod:`repro.distsim.engine.group_ops`).  Purely diagnostic — the
+        message/word/flop counters and the clock charged per rank are
+        identical to the point-to-point evaluation, so this field is *not*
+        part of :meth:`RunTrace.summary` and not compared by the cross-engine
+        parity suite.
     """
 
     rank: int
@@ -57,6 +65,7 @@ class RankTrace:
     flops: FlopCounter = field(default_factory=FlopCounter)
     clock: float = 0.0
     zero_copy_sends: int = 0
+    group_collectives: int = 0
 
     def record_send(self, words: float, channel: str, zero_copy: bool = False) -> None:
         """Record one outgoing message of ``words`` 8-byte words."""
@@ -126,6 +135,15 @@ class RunTrace:
     def total_flops(self) -> float:
         """Total arithmetic (muladds + divides) over all ranks."""
         return sum(t.flops.total for t in self.ranks)
+
+    @property
+    def total_group_collectives(self) -> int:
+        """Collectives delivered as single group-level events (diagnostic).
+
+        Non-zero only under the coroutine engine; deliberately kept out of
+        :meth:`summary` because summaries are compared across engines.
+        """
+        return sum(t.group_collectives for t in self.ranks)
 
     @property
     def max_flops(self) -> float:

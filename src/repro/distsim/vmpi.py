@@ -19,8 +19,12 @@ pluggable :class:`~repro.distsim.engine.base.ExecutionEngine`
 * ``"event"`` — a deterministic single-runner discrete-event scheduler that
   resumes the runnable rank with the smallest simulated clock, detects
   deadlock structurally, and scales to the paper's process counts (P ≥ 888).
+* ``"coroutine"`` — a deterministic single-threaded scheduler that steps the
+  rank programs as generator coroutines (no threads at all) and evaluates
+  collectives as single group-level events; process counts in the thousands
+  (P ≈ 10⁴) run in seconds.
 
-Both engines charge costs through the same shared
+All engines charge costs through the same shared
 :class:`~repro.distsim.engine.base.Communicator`, so the simulated message /
 word / flop counts and critical-path times are **identical** across engines
 for the same program; only host wall-clock behavior differs.
@@ -100,7 +104,8 @@ def run_spmd(
         Defaults to the ``REPRO_VMPI_TIMEOUT`` environment variable, else
         120 s.
     engine:
-        Execution engine: a registered name (``"threaded"``, ``"event"``), an
+        Execution engine: a registered name (``"threaded"``, ``"event"``,
+        ``"coroutine"``), an
         :class:`~repro.distsim.engine.base.ExecutionEngine` instance, or
         ``None`` to use ``REPRO_VMPI_ENGINE`` / the threaded default.
 

@@ -10,10 +10,11 @@ simulator, at sizes small enough to execute in Python:
 * over a full factorization, CALU's per-process message count must be lower
   than PDGETRF's by roughly a factor ``b`` (up to the swap-scheme constant).
 
-These measurements default to the deterministic event engine
+These measurements default to the deterministic coroutine engine
 (:mod:`repro.distsim.engine`), which makes them reproducible bit for bit and
-keeps paper-scale process counts (P up to 888) tractable; pass
-``engine="threaded"`` to cross-check against the threaded backend.
+keeps process counts in the thousands tractable; pass ``engine="event"`` or
+``engine="threaded"`` to cross-check against the other backends (the traces
+are identical by the engine-parity contract).
 """
 
 from __future__ import annotations
@@ -31,8 +32,9 @@ from ..parallel.ptslu import ptslu
 from ..randmat.generators import randn
 from ..scalapack.pdgetrf import pdgetrf
 
-#: Engine used by default for validation measurements (deterministic).
-DEFAULT_ENGINE = "event"
+#: Engine used by default for validation measurements (deterministic; the
+#: coroutine engine keeps figure-scale sweeps at large P fast).
+DEFAULT_ENGINE = "coroutine"
 
 
 def measure_panel_counts(

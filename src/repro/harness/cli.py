@@ -278,7 +278,7 @@ def build_parser() -> argparse.ArgumentParser:
                        help="artifact store root (default: $REPRO_RESULTS_DIR or results/)")
         if cache:
             p.add_argument("--engine", default=None,
-                           help="virtual-MPI engine (event|threaded)")
+                           help="virtual-MPI engine (coroutine|event|threaded)")
             p.add_argument("--tier", default=None,
                            help="kernel tier (auto|reference|lapack)")
             p.add_argument("--pivoting", default=None,

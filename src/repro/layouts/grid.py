@@ -10,7 +10,7 @@ by the algorithms, and enumerates the ranks sharing a grid row or column
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Tuple
+from typing import Sequence, Tuple
 
 
 @dataclass(frozen=True)
@@ -54,13 +54,21 @@ class ProcessGrid:
             )
         return grid_col * self.nprow + grid_row
 
-    def column_ranks(self, grid_col: int) -> List[int]:
-        """Ranks of all processes in grid column ``grid_col`` (ordered by grid row)."""
-        return [self.rank(r, grid_col) for r in range(self.nprow)]
+    def column_ranks(self, grid_col: int) -> Sequence[int]:
+        """Ranks of all processes in grid column ``grid_col`` (ordered by grid row).
 
-    def row_ranks(self, grid_row: int) -> List[int]:
+        Returned as a ``range``: grid rows and columns are arithmetic rank
+        progressions, and collective groups hash / position-index their
+        members per participant — O(1) on a range versus O(group size) on a
+        materialized list.
+        """
+        self.rank(0, grid_col)  # validate the column index
+        return range(grid_col * self.nprow, (grid_col + 1) * self.nprow)
+
+    def row_ranks(self, grid_row: int) -> Sequence[int]:
         """Ranks of all processes in grid row ``grid_row`` (ordered by grid column)."""
-        return [self.rank(grid_row, c) for c in range(self.npcol)]
+        self.rank(grid_row, 0)  # validate the row index
+        return range(grid_row, self.size, self.nprow)
 
     def _check_rank(self, rank: int) -> None:
         if not (0 <= rank < self.size):

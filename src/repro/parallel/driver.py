@@ -34,6 +34,7 @@ import numpy as np
 
 from ..distsim.collectives import broadcast
 from ..distsim.engine import ExecutionEngine
+from ..distsim.engine.base import spmd_program
 from ..distsim.tracing import RunTrace
 from ..distsim.vmpi import Communicator, run_spmd
 from ..layouts.block_cyclic import BlockCyclic2D
@@ -45,11 +46,12 @@ from ..scalapack.pdtrsm import pdtrsm_block_row
 
 #: Signature of a panel factorization callback.
 #:
-#: ``panel_fn(comm, dist, Aloc, j0, jb, col_group, tag) -> swaps`` where
-#: ``swaps`` is the ordered list of global row swaps chosen by the panel.
-#: The callback is invoked only on the ranks of ``col_group`` and must leave
-#: the packed panel factors in the local panel columns of ``Aloc``.
-PanelFactorizer = Callable[..., List[Tuple[int, int]]]
+#: ``panel_fn(comm, dist, Aloc, j0, jb, col_group, tag)`` is a *generator
+#: function* driven with ``yield from``; its return value is ``swaps``, the
+#: ordered list of global row swaps chosen by the panel.  The callback is
+#: invoked only on the ranks of ``col_group`` and must leave the packed panel
+#: factors in the local panel columns of ``Aloc``.
+PanelFactorizer = Callable[..., object]
 
 
 @dataclass
@@ -75,12 +77,13 @@ class DistributedLUResult:
     trace: RunTrace
 
 
+@spmd_program
 def block_right_looking_rank(
     comm: Communicator,
     dist: BlockCyclic2D,
     Aloc: np.ndarray,
     panel_fn: PanelFactorizer,
-) -> dict:
+):
     """SPMD body of the block right-looking factorization (one rank).
 
     Returns a dict with the rank's final local array and the swap list (the
@@ -112,7 +115,7 @@ def block_right_looking_rank(
         # ------------------------------------------------ 1. panel factorization
         swaps: Optional[List[Tuple[int, int]]] = None
         if mycol == pcol_owner:
-            swaps = panel_fn(
+            swaps = yield from panel_fn(
                 comm, dist, Aloc, j0, jb, col_group, tag=("panel", j0)
             )
 
@@ -126,7 +129,7 @@ def block_right_looking_rank(
         else:
             payload = None
         root_in_row = grid.rank(myrow, pcol_owner)
-        payload = broadcast(
+        payload = yield from broadcast.co(
             comm,
             payload,
             root=root_in_row,
@@ -144,7 +147,7 @@ def block_right_looking_rank(
             [lc for lc, g in enumerate(my_gcols) if not (j0 <= g < j0 + jb)],
             dtype=np.int64,
         )
-        pdlaswp(
+        yield from pdlaswp.co(
             comm,
             dist,
             Aloc,
@@ -179,7 +182,7 @@ def block_right_looking_rank(
         # ------------------------------------ 5. broadcast U12 down grid columns
         col_bcast_group = grid.column_ranks(mycol)
         root_in_col = grid.rank(prow_owner, mycol)
-        u12_local = broadcast(
+        u12_local = yield from broadcast.co(
             comm,
             u12_local,
             root=root_in_col,
@@ -241,8 +244,12 @@ def run_block_lu(
     locals_in = dist.scatter(A)
     panel_fn = panel_factory()
 
-    def rank_fn(comm: Communicator) -> dict:
-        return block_right_looking_rank(comm, dist, locals_in[comm.rank], panel_fn)
+    def rank_fn(comm: Communicator):
+        return (
+            yield from block_right_looking_rank.co(
+                comm, dist, locals_in[comm.rank], panel_fn
+            )
+        )
 
     trace = run_spmd(grid.size, rank_fn, machine=machine, engine=engine)
 

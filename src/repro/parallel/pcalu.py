@@ -31,8 +31,11 @@ def make_calu_panel(
     local_kernel: str = "getf2",
     kernel_tier: Optional[str] = None,
     selector: str = "getf2",
-) -> Callable[..., List[Tuple[int, int]]]:
-    """Create the CALU panel-factorization callback for the shared driver.
+) -> Callable[..., object]:
+    """Create the CALU panel-factorization coroutine for the shared driver.
+
+    The returned callable is a generator function (driven with ``yield
+    from``); its return value is the panel's swap list.
 
     Parameters
     ----------
@@ -58,7 +61,7 @@ def make_calu_panel(
         jb: int,
         col_group: List[int],
         tag: object,
-    ) -> List[Tuple[int, int]]:
+    ):
         grid = dist.grid
         myrow, _ = grid.coords(comm.rank)
         my_grows = dist.local_rows(myrow)
@@ -71,7 +74,7 @@ def make_calu_panel(
         local_panel = Aloc[np.ix_(act_lrows, panel_lcols)]
 
         # Tournament pivoting over the grid column (log2 Pr messages).
-        res = ptslu_rank(
+        res = yield from ptslu_rank.co(
             comm,
             act_grows,
             local_panel,
@@ -89,7 +92,9 @@ def make_calu_panel(
         swaps = winners_to_swaps(j0, winners)
 
         # Move the winning rows to the top of the panel columns.
-        pdlaswp(comm, dist, Aloc, swaps, panel_lcols, tag=(tag, "pswap"), channel="col")
+        yield from pdlaswp.co(
+            comm, dist, Aloc, swaps, panel_lcols, tag=(tag, "pswap"), channel="col"
+        )
 
         # Second phase of ca-pivoting: with the winners on the diagonal block,
         # the panel is factored without further pivoting.  Locally that means

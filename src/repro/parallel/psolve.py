@@ -38,6 +38,7 @@ import numpy as np
 
 from ..distsim.collectives import allreduce, reduce
 from ..distsim.engine import ExecutionEngine
+from ..distsim.engine.base import spmd_program
 from ..distsim.tracing import RunTrace
 from ..distsim.vmpi import Communicator, run_spmd
 from ..kernels.flops import FlopCounter
@@ -101,7 +102,7 @@ def _distributed_residual(
     x_cols: np.ndarray,
     nrhs: int,
     tag: object,
-) -> Tuple[RhsBlocks, np.ndarray, float]:
+):
     """Distributed residual and componentwise backward error (one rank's body).
 
     Every rank multiplies its local piece of the permuted matrix by the
@@ -146,7 +147,7 @@ def _distributed_residual(
         kb = g1 - g0
         lr0 = (k // grid.nprow) * dist.block
         root = diag_owner(dist, k)
-        acc = reduce(
+        acc = yield from reduce.co(
             comm,
             (partial[lr0 : lr0 + kb], abs_partial[lr0 : lr0 + kb]),
             add,
@@ -174,7 +175,7 @@ def _distributed_residual(
         comm.charge_flops(comparisons=float(nrhs + 1))
         return (np.maximum(a[0], b[0]), max(a[1], b[1]))
 
-    global_max, global_wb = allreduce(
+    global_max, global_wb = yield from allreduce.co(
         comm,
         (local_max, local_wb),
         take_max,
@@ -184,6 +185,7 @@ def _distributed_residual(
     return residual_blocks, np.asarray(global_max), float(global_wb)
 
 
+@spmd_program
 def pdgesv_rank(
     comm: Communicator,
     dist: BlockCyclic2D,
@@ -193,20 +195,20 @@ def pdgesv_rank(
     nrhs: int,
     max_iterations: int,
     tolerance: float,
-) -> dict:
+):
     """SPMD body of the distributed solve + refinement (one rank).
 
     ``pb_blocks`` holds the permuted right-hand-side blocks this rank
     diagonal-owns; the factorization's permutation has already been applied.
     Mirrors :func:`repro.core.solve.solve_with_refinement` step for step.
     """
-    _, y_blocks = pdtrsv_lower_unit(
+    _, y_blocks = yield from pdtrsv_lower_unit.co(
         comm, dist, LUloc, pb_blocks, nrhs, tag=("fwd", 0)
     )
-    x_cols, _ = pdtrsv_upper(
+    x_cols, _ = yield from pdtrsv_upper.co(
         comm, dist, LUloc, y_blocks, nrhs, tag=("bwd", 0)
     )
-    r_blocks, per_rhs, wb = _distributed_residual(
+    r_blocks, per_rhs, wb = yield from _distributed_residual(
         comm, dist, PAloc, pb_blocks, x_cols, nrhs, tag=("resid", 0)
     )
     residuals = [float(np.max(per_rhs)) if per_rhs.size else 0.0]
@@ -216,15 +218,15 @@ def pdgesv_rank(
     for it in range(1, max_iterations + 1):
         if backward[-1] <= tolerance:
             break
-        _, dy_blocks = pdtrsv_lower_unit(
+        _, dy_blocks = yield from pdtrsv_lower_unit.co(
             comm, dist, LUloc, r_blocks, nrhs, tag=("fwd", it)
         )
-        dx_cols, _ = pdtrsv_upper(
+        dx_cols, _ = yield from pdtrsv_upper.co(
             comm, dist, LUloc, dy_blocks, nrhs, tag=("bwd", it)
         )
         x_cols += dx_cols
         comm.charge_flops(muladds=float(x_cols.size))
-        r_blocks, per_rhs, wb = _distributed_residual(
+        r_blocks, per_rhs, wb = yield from _distributed_residual(
             comm, dist, PAloc, pb_blocks, x_cols, nrhs, tag=("resid", it)
         )
         iterations += 1
@@ -336,16 +338,18 @@ def pdgesv(
         g0, g1 = block_bounds(dist, k)
         pb_by_rank[diag_owner(dist, k)][k] = np.ascontiguousarray(pB[g0:g1])
 
-    def rank_fn(comm: Communicator) -> dict:
-        return pdgesv_rank(
-            comm,
-            dist,
-            LU_locals[comm.rank],
-            PA_locals[comm.rank],
-            pb_by_rank[comm.rank],
-            nrhs,
-            refine,
-            tolerance,
+    def rank_fn(comm: Communicator):
+        return (
+            yield from pdgesv_rank.co(
+                comm,
+                dist,
+                LU_locals[comm.rank],
+                PA_locals[comm.rank],
+                pb_by_rank[comm.rank],
+                nrhs,
+                refine,
+                tolerance,
+            )
         )
 
     trace = run_spmd(grid.size, rank_fn, machine=machine, engine=engine)

@@ -35,6 +35,7 @@ from ..core.tournament import (
 )
 from ..distsim.collectives import allreduce, broadcast
 from ..distsim.engine import ExecutionEngine
+from ..distsim.engine.base import spmd_program
 from ..distsim.tracing import RunTrace
 from ..distsim.vmpi import Communicator, run_spmd
 from ..kernels.batched import getf2_batched, slab_flop_counters
@@ -79,7 +80,7 @@ def _tournament_allreduce(
     channel: str = "col",
     tag: str = "tslu",
     selector: str = "getf2",
-) -> CandidateSet:
+):
     """Butterfly all-reduction whose operator is the pivot tournament merge.
 
     Every rank of ``group`` ends up with the same winning candidate set.  The
@@ -103,12 +104,13 @@ def _tournament_allreduce(
         comm.charge_counter(scratch)
         return (merged.rows, merged.block)
 
-    rows, block = allreduce(
+    rows, block = yield from allreduce.co(
         comm, (candidate.rows, candidate.block), op, group=group, tag=tag, channel=channel
     )
     return CandidateSet(rows=rows, block=block)
 
 
+@spmd_program
 def ptslu_rank(
     comm: Communicator,
     local_rows: np.ndarray,
@@ -122,7 +124,7 @@ def ptslu_rank(
     kernel_tier: Optional[str] = None,
     precomputed_candidate: Optional[Tuple[CandidateSet, FlopCounter]] = None,
     selector: str = "getf2",
-) -> dict:
+):
     """The SPMD body of TSLU executed by one rank.
 
     Parameters
@@ -168,7 +170,11 @@ def ptslu_rank(
         ``{"winners", "U", "rows", "L_local"}`` — the global pivot rows, the
         shared ``U`` factor, this rank's row indices and its block of ``L``.
     """
-    group = list(group) if group is not None else list(range(comm.size))
+    # Keep the default all-ranks group as a ``range``: the collective layer
+    # hashes and position-indexes the group per participant, which a range
+    # does in O(1) where a materialized list costs O(P) each (O(P²) per
+    # tournament round at figure-scale P).
+    group = list(group) if group is not None else range(comm.size)
     scratch = FlopCounter()
     if precomputed_candidate is not None:
         candidate, leaf_flops = precomputed_candidate
@@ -193,7 +199,7 @@ def ptslu_rank(
         comm.charge_counter(scratch)
 
     if len(group) > 1:
-        winner = _tournament_allreduce(
+        winner = yield from _tournament_allreduce(
             comm, candidate, b, group, channel=channel, tag=tag, selector=selector
         )
     else:
@@ -299,6 +305,7 @@ def _pp_maxloc(a: Tuple, b: Tuple) -> Tuple:
     return b
 
 
+@spmd_program
 def pp_panel_rank(
     comm: Communicator,
     local_rows: np.ndarray,
@@ -308,7 +315,7 @@ def pp_panel_rank(
     group: Optional[Sequence[int]] = None,
     channel: str = "col",
     tag: str = "tslu-pp",
-) -> dict:
+):
     """Distributed *partial pivoting* panel factorization (one rank's body).
 
     The communication baseline TSLU is measured against, on TSLU's own 1-D
@@ -353,7 +360,7 @@ def pp_panel_rank(
             comm.charge_flops(comparisons=float(active.size - 1))
         else:
             cand = (-1.0, 0.0, 1 << 60, -1, -1)
-        best = allreduce(
+        best = yield from allreduce.co(
             comm, cand, _pp_maxloc, group=group, tag=(tag, "amax", jc), channel=channel
         )
         _, _, grow, owner, owner_li = best
@@ -368,7 +375,7 @@ def pp_panel_rank(
             L_local[owner_li, jc] = 1.0
         else:
             seg = None
-        seg = broadcast(
+        seg = yield from broadcast.co(
             comm, seg, root=owner, group=group, tag=(tag, "prow", jc), channel=channel
         )
         U[jc, jc:] = seg
@@ -464,27 +471,29 @@ def ptslu(
 
     if strategy.tournament:
 
-        def rank_fn(comm: Communicator) -> dict:
+        def rank_fn(comm: Communicator):
             rows = rows_per_rank[comm.rank]
-            return ptslu_rank(
-                comm,
-                rows,
-                A[rows, :],
-                b,
-                local_kernel=local_kernel,
-                kernel_tier=kernel_tier,
-                precomputed_candidate=(
-                    None if precomputed is None else precomputed[comm.rank]
-                ),
-                selector=strategy.selector,
+            return (
+                yield from ptslu_rank.co(
+                    comm,
+                    rows,
+                    A[rows, :],
+                    b,
+                    local_kernel=local_kernel,
+                    kernel_tier=kernel_tier,
+                    precomputed_candidate=(
+                        None if precomputed is None else precomputed[comm.rank]
+                    ),
+                    selector=strategy.selector,
+                )
             )
 
     else:
         npivots = min(m, b)
 
-        def rank_fn(comm: Communicator) -> dict:
+        def rank_fn(comm: Communicator):
             rows = rows_per_rank[comm.rank]
-            return pp_panel_rank(comm, rows, A[rows, :], b, npivots)
+            return (yield from pp_panel_rank.co(comm, rows, A[rows, :], b, npivots))
 
     trace = run_spmd(nprocs, rank_fn, machine=machine, engine=engine)
     results = trace.results

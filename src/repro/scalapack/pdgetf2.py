@@ -23,7 +23,7 @@ factorization), versus TSLU's ``log2 Pr``.
 
 from __future__ import annotations
 
-from typing import Callable, List, Tuple
+from typing import Callable, Iterator, List, Tuple
 
 import numpy as np
 
@@ -46,8 +46,12 @@ def _maxloc(a: Tuple[float, float, int], b: Tuple[float, float, int]) -> Tuple[f
     return b
 
 
-def make_pdgetf2_panel() -> Callable[..., List[Tuple[int, int]]]:
-    """Create the PDGETF2 panel callback for the shared block-LU driver."""
+def make_pdgetf2_panel() -> Callable[..., Iterator]:
+    """Create the PDGETF2 panel coroutine for the shared block-LU driver.
+
+    The returned callable is a generator function (driven with ``yield
+    from``); its return value is the panel's swap list.
+    """
 
     def panel(
         comm: Communicator,
@@ -57,7 +61,7 @@ def make_pdgetf2_panel() -> Callable[..., List[Tuple[int, int]]]:
         jb: int,
         col_group: List[int],
         tag: object,
-    ) -> List[Tuple[int, int]]:
+    ):
         grid = dist.grid
         myrow, mycol = grid.coords(comm.rank)
         my_grows = dist.local_rows(myrow)
@@ -82,7 +86,7 @@ def make_pdgetf2_panel() -> Callable[..., List[Tuple[int, int]]]:
                 comm.charge_flops(comparisons=float(act_lrows.size - 1))
             else:
                 cand = (-1.0, 0.0, 1 << 60)
-            best = allreduce(
+            best = yield from allreduce.co(
                 comm, cand, _maxloc, group=col_group, tag=(tag, "amax", jc), channel="col"
             )
             pivot_row = best[2]
@@ -90,7 +94,7 @@ def make_pdgetf2_panel() -> Callable[..., List[Tuple[int, int]]]:
             # --- swap the pivot row into the diagonal position (panel columns).
             if pivot_row != gcol and best[0] > 0.0:
                 swaps.append((gcol, pivot_row))
-                pdlaswp(
+                yield from pdlaswp.co(
                     comm,
                     dist,
                     Aloc,
@@ -108,7 +112,7 @@ def make_pdgetf2_panel() -> Callable[..., List[Tuple[int, int]]]:
                 seg = Aloc[lrow, panel_lcols[jc:]].copy()
             else:
                 seg = None
-            seg = broadcast(
+            seg = yield from broadcast.co(
                 comm, seg, root=root, group=col_group, tag=(tag, "prow", jc), channel="col"
             )
             pivot_val = float(seg[0])

@@ -21,6 +21,7 @@ from typing import Iterable, List, Sequence, Tuple
 
 import numpy as np
 
+from ..distsim.engine.base import spmd_program
 from ..distsim.vmpi import Communicator
 from ..layouts.block_cyclic import BlockCyclic2D
 
@@ -68,6 +69,7 @@ def apply_swaps_to_permutation(perm: np.ndarray, swaps: Iterable[Tuple[int, int]
     return perm
 
 
+@spmd_program
 def pdlaswp(
     comm: Communicator,
     dist: BlockCyclic2D,
@@ -125,7 +127,7 @@ def pdlaswp(
         else:
             mine, peer_row, my_local = r2, gr1, l2
         peer = dist.grid.rank(peer_row, mycol)
-        received = comm.sendrecv(
+        received = yield from comm.co_sendrecv(
             peer, Aloc[my_local, cols].copy(), tag=(tag, "swap", s), channel=channel
         )
         Aloc[my_local, cols] = received

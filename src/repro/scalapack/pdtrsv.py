@@ -39,6 +39,7 @@ from typing import Dict, Tuple
 import numpy as np
 
 from ..distsim.collectives import broadcast, reduce
+from ..distsim.engine.base import spmd_program
 from ..distsim.vmpi import Communicator
 from ..kernels.flops import FlopCounter
 from ..kernels.trsm import trsm_lower_unit, trsm_upper
@@ -67,7 +68,7 @@ def _pdtrsv(
     nrhs: int,
     tag: object,
     lower: bool,
-) -> Tuple[np.ndarray, RhsBlocks]:
+):
     """Shared SPMD body of the forward/backward substitution (one rank).
 
     Parameters
@@ -139,7 +140,7 @@ def _pdtrsv(
                 return a + b
 
             if step > 0:
-                acc = reduce(
+                acc = yield from reduce.co(
                     comm,
                     partial,
                     add,
@@ -165,7 +166,7 @@ def _pdtrsv(
         comm.charge_counter(scratch)
 
         if mycol == pcol_k:
-            xk = broadcast(
+            xk = yield from broadcast.co(
                 comm,
                 xk,
                 root=root,
@@ -178,6 +179,7 @@ def _pdtrsv(
     return x_cols, x_blocks
 
 
+@spmd_program
 def pdtrsv_lower_unit(
     comm: Communicator,
     dist: BlockCyclic2D,
@@ -185,7 +187,7 @@ def pdtrsv_lower_unit(
     rhs_blocks: RhsBlocks,
     nrhs: int,
     tag: object = "pdtrsv-l",
-) -> Tuple[np.ndarray, RhsBlocks]:
+):
     """Blocked distributed forward substitution ``L y = rhs`` (unit-lower ``L``).
 
     ``L`` is read from the strictly-lower part of the packed ``LUloc`` (unit
@@ -193,9 +195,10 @@ def pdtrsv_lower_unit(
     does sequentially.  See the module docstring for the communication
     structure and :func:`_pdtrsv` for the parameters.
     """
-    return _pdtrsv(comm, dist, LUloc, rhs_blocks, nrhs, tag, lower=True)
+    return (yield from _pdtrsv(comm, dist, LUloc, rhs_blocks, nrhs, tag, lower=True))
 
 
+@spmd_program
 def pdtrsv_upper(
     comm: Communicator,
     dist: BlockCyclic2D,
@@ -203,10 +206,10 @@ def pdtrsv_upper(
     rhs_blocks: RhsBlocks,
     nrhs: int,
     tag: object = "pdtrsv-u",
-) -> Tuple[np.ndarray, RhsBlocks]:
+):
     """Blocked distributed back substitution ``U x = rhs`` (upper ``U``).
 
     ``U`` is read from the diagonal and above of the packed ``LUloc``.  See
     the module docstring for the communication structure.
     """
-    return _pdtrsv(comm, dist, LUloc, rhs_blocks, nrhs, tag, lower=False)
+    return (yield from _pdtrsv(comm, dist, LUloc, rhs_blocks, nrhs, tag, lower=False))

@@ -1,11 +1,13 @@
 """Cross-backend tests for the pluggable virtual-MPI execution engines.
 
-The contract: the threaded and event-driven backends must produce
+The contract: the threaded, event-driven and coroutine backends must produce
 **identical** simulated quantities — message counts, word counts, flop
 counts (muladds / divides / comparisons) and per-rank clocks, hence
 critical-path times — for the same rank program, because all accounting lives
-in the shared Communicator base.  The event engine additionally guarantees
-bit-for-bit reproducible runs and structural (instant) deadlock detection.
+in the shared Communicator base (and the coroutine engine's group-level
+collective evaluation mirrors the point-to-point trees bit for bit).  The
+event and coroutine engines additionally guarantee bit-for-bit reproducible
+runs and structural (instant) deadlock detection.
 """
 
 from __future__ import annotations
@@ -18,6 +20,7 @@ import pytest
 from repro.distsim import (
     DeadlockError,
     RankFailedError,
+    UnknownEngineError,
     allgather,
     allreduce,
     available_engines,
@@ -26,14 +29,24 @@ from repro.distsim import (
     resolve_engine,
     run_spmd,
 )
-from repro.distsim.engine import EventEngine, ExecutionEngine, ThreadedEngine
+from repro.distsim.engine import (
+    CoroutineEngine,
+    EventEngine,
+    ExecutionEngine,
+    ThreadedEngine,
+    spmd_program,
+)
 from repro.layouts import ProcessGrid
 from repro.machines import MachineModel, ibm_power5, unit_machine
 from repro.parallel import pcalu, ptslu
+from repro.parallel.psolve import pdgesv
 from repro.randmat import randn, tall_skinny
 from repro.scalapack import pdgetrf
 
-ENGINES = ["threaded", "event"]
+ENGINES = ["threaded", "event", "coroutine"]
+
+#: Backends other than the event engine, whose traces must match it.
+OTHERS = ["threaded", "coroutine"]
 
 
 def assert_traces_identical(t1, t2):
@@ -54,12 +67,15 @@ def assert_traces_identical(t1, t2):
 
 
 # ------------------------------------------------------------ registry seam
-def test_engine_registry_lists_both_backends():
-    assert available_engines() == ["event", "threaded"]
+def test_engine_registry_lists_all_backends():
+    assert available_engines() == ["coroutine", "event", "threaded"]
     assert isinstance(get_engine("threaded"), ThreadedEngine)
     assert isinstance(get_engine("event"), EventEngine)
+    assert isinstance(get_engine("coroutine"), CoroutineEngine)
     # Aliases and instances resolve too.
     assert isinstance(resolve_engine("deterministic"), EventEngine)
+    assert isinstance(resolve_engine("coro"), CoroutineEngine)
+    assert isinstance(resolve_engine("generator"), CoroutineEngine)
     eng = EventEngine()
     assert resolve_engine(eng) is eng
 
@@ -69,6 +85,27 @@ def test_engine_registry_rejects_unknown():
         get_engine("quantum")
     with pytest.raises(TypeError):
         resolve_engine(3.14)
+
+
+def test_unknown_engine_error_names_offender_and_lists_registered():
+    """Satellite: the lookup failure is a named error carrying the bad name
+    and every registered engine name, and the message lists them."""
+    with pytest.raises(UnknownEngineError) as exc:
+        get_engine("quantum")
+    assert exc.value.name == "quantum"
+    assert exc.value.available == ["coroutine", "event", "threaded"]
+    for name in ("quantum", "coroutine", "event", "threaded"):
+        assert name in str(exc.value)
+    # It is both a SimulationError and a ValueError, so old handlers work.
+    assert isinstance(exc.value, ValueError)
+
+
+def test_unknown_engine_env_var_raises_named_error(monkeypatch):
+    monkeypatch.setenv("REPRO_VMPI_ENGINE", "warp-drive")
+    with pytest.raises(UnknownEngineError) as exc:
+        run_spmd(2, lambda comm: comm.rank)
+    assert exc.value.name == "warp-drive"
+    assert "coroutine" in str(exc.value)
 
 
 def test_engine_env_var_selects_backend(monkeypatch):
@@ -111,104 +148,169 @@ def test_collective_program_parity(p):
         alpha_row=2e-6, beta_col=3e-8,
     )
 
+    @spmd_program
     def prog(comm):
         comm.charge_flops(muladds=10 * (comm.rank + 1), divides=comm.rank,
                           comparisons=3)
-        v = allreduce(comm, comm.rank + 1, lambda a, b: a + b, channel="col")
-        w = broadcast(comm, np.arange(6.0) if comm.rank == 0 else None,
-                      root=0, channel="row")
-        g = allgather(comm, comm.rank * 2)
+        v = yield from allreduce.co(comm, comm.rank + 1, lambda a, b: a + b,
+                                    channel="col")
+        w = yield from broadcast.co(comm, np.arange(6.0) if comm.rank == 0 else None,
+                                    root=0, channel="row")
+        g = yield from allgather.co(comm, comm.rank * 2)
         return (v, float(np.sum(w)), g)
 
-    t_threaded = run_spmd(p, prog, machine=machine, engine="threaded")
-    t_event = run_spmd(p, prog, machine=machine, engine="event")
-    assert_traces_identical(t_threaded, t_event)
-    assert t_threaded.results == t_event.results
+    traces = {e: run_spmd(p, prog, machine=machine, engine=e) for e in ENGINES}
+    for other in OTHERS:
+        assert_traces_identical(traces["event"], traces[other])
+        assert traces["event"].results == traces[other].results
+    # The coroutine engine delivered the collectives as group events.
+    assert traces["coroutine"].total_group_collectives > 0
+    assert traces["event"].total_group_collectives == 0
 
 
 @pytest.mark.parametrize("nprocs", [2, 4, 5, 8])
-def test_ptslu_parity(nprocs):
+@pytest.mark.parametrize("other", OTHERS)
+def test_ptslu_parity(nprocs, other):
     A = tall_skinny(64, 8, seed=nprocs)
-    res_t = ptslu(A, nprocs=nprocs, machine=ibm_power5(), engine="threaded")
     res_e = ptslu(A, nprocs=nprocs, machine=ibm_power5(), engine="event")
-    assert_traces_identical(res_t.trace, res_e.trace)
-    assert np.array_equal(res_t.winners, res_e.winners)
-    assert np.allclose(res_t.L, res_e.L)
-    assert np.allclose(res_t.U, res_e.U)
+    res_o = ptslu(A, nprocs=nprocs, machine=ibm_power5(), engine=other)
+    assert_traces_identical(res_e.trace, res_o.trace)
+    assert np.array_equal(res_e.winners, res_o.winners)
+    assert np.allclose(res_e.L, res_o.L)
+    assert np.allclose(res_e.U, res_o.U)
 
 
 @pytest.mark.parametrize(
     "n,b,pr,pc",
     [(16, 4, 2, 2), (32, 8, 2, 2), (36, 6, 2, 3)],
 )
-def test_pcalu_parity(n, b, pr, pc):
+@pytest.mark.parametrize("other", OTHERS)
+def test_pcalu_parity(n, b, pr, pc, other):
     A = randn(n, seed=n + b)
     grid = ProcessGrid(pr, pc)
-    res_t = pcalu(A, grid, block_size=b, machine=ibm_power5(), engine="threaded")
     res_e = pcalu(A, grid, block_size=b, machine=ibm_power5(), engine="event")
-    assert_traces_identical(res_t.trace, res_e.trace)
-    assert np.array_equal(res_t.perm, res_e.perm)
-    assert np.allclose(res_t.L, res_e.L)
-    assert np.allclose(res_t.U, res_e.U)
+    res_o = pcalu(A, grid, block_size=b, machine=ibm_power5(), engine=other)
+    assert_traces_identical(res_e.trace, res_o.trace)
+    assert np.array_equal(res_e.perm, res_o.perm)
+    assert np.allclose(res_e.L, res_o.L)
+    assert np.allclose(res_e.U, res_o.U)
 
 
-def test_pdgetrf_parity():
+@pytest.mark.parametrize("other", OTHERS)
+def test_pdgetrf_parity(other):
     A = randn(32, seed=3)
     grid = ProcessGrid(2, 2)
-    res_t = pdgetrf(A, grid, block_size=8, machine=ibm_power5(), engine="threaded")
     res_e = pdgetrf(A, grid, block_size=8, machine=ibm_power5(), engine="event")
-    assert_traces_identical(res_t.trace, res_e.trace)
-    assert np.array_equal(res_t.perm, res_e.perm)
+    res_o = pdgetrf(A, grid, block_size=8, machine=ibm_power5(), engine=other)
+    assert_traces_identical(res_e.trace, res_o.trace)
+    assert np.array_equal(res_e.perm, res_o.perm)
+
+
+@pytest.mark.parametrize("other", OTHERS)
+def test_pdgesv_parity(other):
+    """End-to-end solve: factorization + triangular solves + refinement must
+    be bit-identical (traces and solutions) across all three backends."""
+    n = 24
+    A = randn(n, seed=41)
+    b = randn(n, 2, seed=42)
+    grid = ProcessGrid(2, 2)
+    res_e = pdgesv(A, b, grid, block_size=8, machine=ibm_power5(), engine="event")
+    res_o = pdgesv(A, b, grid, block_size=8, machine=ibm_power5(), engine=other)
+    assert_traces_identical(res_e.trace, res_o.trace)
+    assert_traces_identical(res_e.factorization.trace, res_o.factorization.trace)
+    assert np.array_equal(res_e.x, res_o.x)
+    assert res_e.residual_norms == res_o.residual_norms
+    assert res_e.backward_errors == res_o.backward_errors
 
 
 # ------------------------------------------- ragged panels + pivoting knob
 @pytest.mark.parametrize(
     "n,b,pr,pc",
-    [(22, 8, 2, 2), (21, 8, 2, 2), (26, 8, 2, 3)],
+    [(22, 8, 2, 2), (21, 8, 2, 2), (26, 8, 2, 3), (23, 8, 3, 2)],
 )
-def test_pcalu_ragged_edge_parity(n, b, pr, pc):
-    """n % block_size != 0: the fringe panel must behave identically on both
-    engines and still factor correctly."""
+@pytest.mark.parametrize("other", OTHERS)
+def test_pcalu_ragged_edge_parity(n, b, pr, pc, other):
+    """n % block_size != 0 (and non-power-of-two grids): the fringe panel
+    must behave identically on every engine and still factor correctly."""
     A = randn(n, seed=100 + n)
     grid = ProcessGrid(pr, pc)
-    res_t = pcalu(A, grid, block_size=b, machine=ibm_power5(), engine="threaded")
     res_e = pcalu(A, grid, block_size=b, machine=ibm_power5(), engine="event")
-    assert_traces_identical(res_t.trace, res_e.trace)
-    assert np.array_equal(res_t.perm, res_e.perm)
-    assert np.array_equal(res_t.L, res_e.L)  # same code path: bitwise
-    assert np.array_equal(res_t.U, res_e.U)
+    res_o = pcalu(A, grid, block_size=b, machine=ibm_power5(), engine=other)
+    assert_traces_identical(res_e.trace, res_o.trace)
+    assert np.array_equal(res_e.perm, res_o.perm)
+    assert np.array_equal(res_e.L, res_o.L)  # same code path: bitwise
+    assert np.array_equal(res_e.U, res_o.U)
     assert np.allclose(A[res_e.perm, :], res_e.L @ res_e.U, atol=1e-11)
 
 
+def test_pdgesv_ragged_nonpow2_three_way():
+    """Satellite: pdgesv at non-power-of-two P (3x2 grid) with n % b != 0 runs
+    bit-identically on all three backends."""
+    n = 26
+    A = randn(n, seed=55)
+    b = randn(n, 1, seed=56)[:, 0]
+    grid = ProcessGrid(3, 2)
+    results = {
+        e: pdgesv(A, b, grid, block_size=8, machine=ibm_power5(), engine=e)
+        for e in ENGINES
+    }
+    for other in OTHERS:
+        assert_traces_identical(results["event"].trace, results[other].trace)
+        assert_traces_identical(
+            results["event"].factorization.trace,
+            results[other].factorization.trace,
+        )
+        assert np.array_equal(results["event"].x, results[other].x)
+    assert np.allclose(A @ results["coroutine"].x, b, atol=1e-9)
+
+
 @pytest.mark.parametrize("strategy", ["pp", "ca", "ca_prrp"])
-def test_pcalu_pivoting_knob_parity_across_engines(strategy):
-    """Every pivoting strategy must run identically on both engines, on a
+@pytest.mark.parametrize("other", OTHERS)
+def test_pcalu_pivoting_knob_parity_across_engines(strategy, other):
+    """Every pivoting strategy must run identically on every engine, on a
     ragged (n=22, b=8) 2x2 problem."""
     A = randn(22, seed=7)
     grid = ProcessGrid(2, 2)
-    res_t = pcalu(A, grid, block_size=8, machine=ibm_power5(),
-                  engine="threaded", pivoting=strategy)
     res_e = pcalu(A, grid, block_size=8, machine=ibm_power5(),
                   engine="event", pivoting=strategy)
-    assert_traces_identical(res_t.trace, res_e.trace)
-    assert np.array_equal(res_t.perm, res_e.perm)
-    assert np.array_equal(res_t.L, res_e.L)
-    assert np.array_equal(res_t.U, res_e.U)
+    res_o = pcalu(A, grid, block_size=8, machine=ibm_power5(),
+                  engine=other, pivoting=strategy)
+    assert_traces_identical(res_e.trace, res_o.trace)
+    assert np.array_equal(res_e.perm, res_o.perm)
+    assert np.array_equal(res_e.L, res_o.L)
+    assert np.array_equal(res_e.U, res_o.U)
     assert np.allclose(A[res_e.perm, :], res_e.L @ res_e.U, atol=1e-11)
 
 
 @pytest.mark.parametrize("strategy", ["pp", "ca", "ca_prrp"])
-def test_ptslu_pivoting_knob_parity_across_engines(strategy):
+@pytest.mark.parametrize("other", OTHERS)
+def test_ptslu_pivoting_knob_parity_across_engines(strategy, other):
     A = tall_skinny(52, 8, seed=3)  # 52 rows over 4 ranks: uneven blocks
-    res_t = ptslu(A, nprocs=4, machine=ibm_power5(), engine="threaded",
-                  pivoting=strategy)
     res_e = ptslu(A, nprocs=4, machine=ibm_power5(), engine="event",
                   pivoting=strategy)
-    assert_traces_identical(res_t.trace, res_e.trace)
-    assert np.array_equal(res_t.winners, res_e.winners)
-    assert np.array_equal(res_t.L, res_e.L)
-    assert np.array_equal(res_t.U, res_e.U)
+    res_o = ptslu(A, nprocs=4, machine=ibm_power5(), engine=other,
+                  pivoting=strategy)
+    assert_traces_identical(res_e.trace, res_o.trace)
+    assert np.array_equal(res_e.winners, res_o.winners)
+    assert np.array_equal(res_e.L, res_o.L)
+    assert np.array_equal(res_e.U, res_o.U)
     assert np.allclose(A[res_e.perm, :], res_e.L @ res_e.U, atol=1e-11)
+
+
+@pytest.mark.parametrize("nprocs", [3, 5, 6, 7])
+def test_ptslu_nonpow2_three_way_parity(nprocs):
+    """Satellite: non-power-of-two P exercises the allreduce fold/unfold edge
+    on all three backends at once."""
+    A = tall_skinny(8 * nprocs + 3, 8, seed=nprocs)
+    results = {
+        e: ptslu(A, nprocs=nprocs, machine=ibm_power5(), engine=e)
+        for e in ENGINES
+    }
+    for other in OTHERS:
+        assert_traces_identical(results["event"].trace, results[other].trace)
+        assert np.array_equal(results["event"].winners, results[other].winners)
+        assert np.array_equal(results["event"].L, results[other].L)
+        assert np.array_equal(results["event"].U, results[other].U)
 
 
 def test_ptslu_pp_costs_per_column_messages():
@@ -267,8 +369,13 @@ def test_event_engine_structural_deadlock_is_instant():
     with pytest.raises(RankFailedError) as exc:
         run_spmd(2, prog, engine="event", timeout=3600.0)
     assert time.perf_counter() - start < 1.0
-    assert isinstance(exc.value.__cause__, DeadlockError)
-    assert "structural deadlock" in str(exc.value.__cause__)
+    cause = exc.value.__cause__
+    assert isinstance(cause, DeadlockError)
+    assert "structural deadlock" in str(cause)
+    # Satellite: the error reports, per blocked rank, the (source, tag) it
+    # was waiting on — both in the message and as structured data.
+    assert cause.blocked == {1: {"source": 0, "tag": "never"}}
+    assert "rank 1 waiting for (source=0, tag='never')" in str(cause)
 
 
 def test_event_engine_detects_cyclic_deadlock():
@@ -280,7 +387,27 @@ def test_event_engine_detects_cyclic_deadlock():
     with pytest.raises(RankFailedError) as exc:
         run_spmd(2, prog, engine="event")
     assert time.perf_counter() - start < 1.0
-    assert isinstance(exc.value.__cause__, DeadlockError)
+    cause = exc.value.__cause__
+    assert isinstance(cause, DeadlockError)
+    # Both ranks are reported with the peer/tag they each wait on.
+    assert cause.blocked == {
+        0: {"source": 1, "tag": "cycle"},
+        1: {"source": 0, "tag": "cycle"},
+    }
+
+
+def test_threaded_engine_timeout_deadlock_reports_source_and_tag(monkeypatch):
+    monkeypatch.setenv("REPRO_VMPI_TIMEOUT", "0.2")
+
+    def prog(comm):
+        if comm.rank == 1:
+            return comm.recv(0, tag=("panel", 3))
+
+    with pytest.raises(RankFailedError) as exc:
+        run_spmd(2, prog, engine="threaded")
+    cause = exc.value.__cause__
+    assert isinstance(cause, DeadlockError)
+    assert cause.blocked == {1: {"source": 0, "tag": ("panel", 3)}}
 
 
 def test_event_engine_rank_exception_propagates():
@@ -398,3 +525,146 @@ def test_registering_over_an_alias_name_wins():
         _REGISTRY.pop("deterministic", None)
     # With the override gone the alias resolves to the builtin again.
     assert isinstance(get_engine("deterministic"), EventEngine)
+
+
+# --------------------------------------------------------- coroutine engine
+def test_coroutine_engine_bitwise_reproducible():
+    A = randn(32, seed=17)
+    grid = ProcessGrid(2, 2)
+    first = pcalu(A, grid, block_size=8, machine=ibm_power5(), engine="coroutine")
+    second = pcalu(A, grid, block_size=8, machine=ibm_power5(), engine="coroutine")
+    assert_traces_identical(first.trace, second.trace)
+    assert np.array_equal(first.L, second.L)
+    assert np.array_equal(first.U, second.U)  # bitwise, not just allclose
+
+
+def test_coroutine_engine_counts_group_collectives():
+    """Collectives over a rank group complete as ONE group-level event
+    (diagnostic counter), while the charged messages/words/clocks stay
+    bit-identical to the point-to-point evaluation."""
+    A = tall_skinny(64, 8, seed=2)
+    res_c = ptslu(A, nprocs=8, machine=unit_machine(), engine="coroutine")
+    res_e = ptslu(A, nprocs=8, machine=unit_machine(), engine="event")
+    assert res_c.trace.total_group_collectives == 8  # one butterfly per rank
+    assert res_e.trace.total_group_collectives == 0
+    assert_traces_identical(res_c.trace, res_e.trace)
+
+
+def test_coroutine_engine_falls_back_for_plain_rank_functions():
+    """A non-generator rank program runs through the compatibility shim (the
+    event engine's machinery) but the trace is still tagged "coroutine"."""
+
+    def prog(comm):  # plain blocking body, no yields
+        if comm.rank == 0:
+            comm.send(1, np.arange(4.0), tag=0)
+            return None
+        return comm.recv(0, tag=0)
+
+    trace = run_spmd(2, prog, engine="coroutine")
+    assert trace.engine == "coroutine"
+    assert np.allclose(trace.results[1], np.arange(4.0))
+
+
+def test_coroutine_engine_runs_generator_rank_functions_natively():
+    @spmd_program
+    def prog(comm):
+        if comm.rank == 0:
+            comm.send(1, np.arange(4.0) * 3.0, tag="x")
+            return "sent"
+        got = yield from comm.co_recv(0, tag="x")
+        return float(np.sum(got))
+
+    trace = run_spmd(2, prog, engine="coroutine")
+    assert trace.engine == "coroutine"
+    assert trace.results == ["sent", 18.0]
+
+
+def test_coroutine_engine_structural_deadlock_reports_p2p_and_collective():
+    """Satellite: the coroutine deadlock error reports, per blocked rank, the
+    (source, tag) or the collective it is stuck in."""
+
+    @spmd_program
+    def prog(comm):
+        if comm.rank == 0:
+            # Joins a collective nobody else ever joins.
+            return (yield from allreduce.co(comm, 1, lambda a, b: a + b,
+                                            group=[0, 1], tag="lonely"))
+        if comm.rank == 1:
+            return (yield from comm.co_recv(2, tag="ghost"))
+        return None
+
+    start = time.perf_counter()
+    with pytest.raises(RankFailedError) as exc:
+        run_spmd(3, prog, engine="coroutine", timeout=3600.0)
+    assert time.perf_counter() - start < 1.0
+    cause = exc.value.__cause__
+    assert isinstance(cause, DeadlockError)
+    assert cause.blocked[0]["collective"] == "allreduce"
+    assert cause.blocked[0]["tag"] == "lonely"
+    assert cause.blocked[0]["group"] == (0, 1)
+    assert cause.blocked[1] == {"source": 2, "tag": "ghost"}
+    assert "waiting in collective" in str(cause)
+    assert "rank 1 waiting for (source=2, tag='ghost')" in str(cause)
+
+
+def test_coroutine_engine_rank_exception_propagates():
+    @spmd_program
+    def prog(comm):
+        if comm.rank == 0:
+            raise ValueError("boom")
+        return (yield from comm.co_recv(0, tag="never-sent"))
+
+    with pytest.raises(RankFailedError) as exc:
+        run_spmd(2, prog, engine="coroutine")
+    # Root cause is the crash, not the deadlock it induced in rank 1.
+    assert isinstance(exc.value.__cause__, ValueError)
+    assert isinstance(exc.value.failures[1], DeadlockError)
+
+
+def test_coroutine_engine_blocking_recv_inside_generator_raises():
+    """A generator rank calling the *blocking* recv with no matched message
+    gets a descriptive error instead of wedging the single host thread."""
+    from repro.distsim import SimulationError
+
+    @spmd_program
+    def prog(comm):
+        yield from ()  # make it a generator
+        return comm.recv(1 - comm.rank, tag="nope")
+
+    with pytest.raises(RankFailedError) as exc:
+        run_spmd(2, prog, engine="coroutine")
+    assert isinstance(exc.value.__cause__, SimulationError)
+    assert "co_recv" in str(exc.value.__cause__)
+
+
+def test_coroutine_engine_back_to_back_same_tag_collectives():
+    """Repeated collectives with identical (kind, group, tag, channel) keys
+    must rendezvous in FIFO order, not collapse into one event."""
+
+    @spmd_program
+    def prog(comm):
+        total = 0
+        for _ in range(3):
+            total = yield from allreduce.co(comm, total + comm.rank + 1,
+                                            lambda a, b: a + b, tag="same")
+        return total
+
+    t_c = run_spmd(4, prog, engine="coroutine")
+    t_e = run_spmd(4, prog, engine="event")
+    assert t_c.results == t_e.results
+    assert_traces_identical(t_c, t_e)
+    assert t_c.total_group_collectives == 12  # 3 rounds x 4 ranks
+
+
+def test_coroutine_engine_runs_large_p_tslu():
+    """The tentpole: P = 2048 TSLU on one host thread in seconds — far past
+    where per-rank OS threads are practical."""
+    P, b = 2048, 2
+    A = tall_skinny(2 * P, b, seed=1)
+    start = time.perf_counter()
+    res = ptslu(A, nprocs=P, machine=unit_machine(), engine="coroutine")
+    elapsed = time.perf_counter() - start
+    assert res.trace.max_messages == 11  # log2(2048)
+    assert res.trace.total_group_collectives == P
+    assert np.allclose(A[res.perm, :], res.L @ res.U, atol=1e-10)
+    assert elapsed < 60.0

@@ -152,7 +152,7 @@ def test_engine_param_specs_record_the_engine_actually_used(tmp_path):
     store = ResultStore(root=tmp_path)
     spec = get_spec("panel_counts")
     default = store.fetch_or_run(spec, quick=True)
-    assert default.artifact["engine"] == "event"  # the spec's param default
+    assert default.artifact["engine"] == "coroutine"  # the spec's param default
     threaded = store.fetch_or_run(spec, {"engine": "threaded"}, quick=True)
     assert threaded.artifact["engine"] == "threaded"
     assert threaded.artifact["key"] != default.artifact["key"]

@@ -1,0 +1,153 @@
+"""Benchmark: solve-as-a-service throughput and latency at P = 64.
+
+The production claim of the serving layer: against a cached factorization,
+coalescing concurrent requests into multi-RHS ``pdtrsv`` sweeps multiplies
+requests/sec over the one-cold-``pdgesv``-per-request baseline — the message
+count of a sweep is independent of ``nrhs``, so a batching window of ``w``
+amortizes the ``(n/b)(log2 Pr + log2 Pc)`` message steps over ``w``
+requests.  The committed gate (``benchmarks/baseline.json``) requires the
+window-8 service to stay >= 3x the cold-``pdgesv`` baseline; the full
+window sweep (1/4/8/16) with p50/p95 latency lands in the benchmark
+artifact.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.harness import SolveService
+from repro.layouts import ProcessGrid
+from repro.machines import unit_machine
+from repro.parallel import pcalu_factor, pdgesv, pdgesv_solve
+from repro.randmat import randn
+
+N, B, P = 96, 16, 64
+ENGINE = "coroutine"
+REQUESTS = 16
+BASELINE_CALLS = 2
+
+
+def _percentile(values, q):
+    ordered = sorted(values)
+    rank = max(0, min(len(ordered) - 1, int(round(q / 100.0 * (len(ordered) - 1)))))
+    return float(ordered[rank])
+
+
+def _setup():
+    grid = ProcessGrid.default_for(P)
+    A = randn(N, seed=N)
+    factor = pcalu_factor(
+        A, grid, B, machine=unit_machine(), engine=ENGINE
+    )
+    rng = np.random.default_rng(1234)
+    rhs = [A @ rng.standard_normal(N) for _ in range(REQUESTS)]
+    return grid, A, factor, rhs
+
+
+def _serve(factor, rhs, window):
+    with SolveService(
+        factor,
+        window=window,
+        linger_s=0.005,
+        machine=unit_machine(),
+        engine=ENGINE,
+        default_slo=1e-10,
+    ) as service:
+        start = time.perf_counter()
+        futures = [service.submit(b) for b in rhs]
+        outcomes = [f.result(timeout=300) for f in futures]
+        elapsed = time.perf_counter() - start
+    assert all(o.met_slo for o in outcomes)
+    latencies = [o.latency_s * 1e3 for o in outcomes]
+    return {
+        "window": window,
+        "rps": len(rhs) / elapsed,
+        "batches": service.stats.batches,
+        "sweeps": service.stats.sweeps,
+        "p50_ms": _percentile(latencies, 50),
+        "p95_ms": _percentile(latencies, 95),
+    }
+
+
+def test_bench_serving_throughput(benchmark):
+    """Headline gate: window-8 service >= 3x one-cold-pdgesv-per-request."""
+    grid, A, factor, rhs = _setup()
+
+    # Baseline: every request pays the full factorization.
+    start = time.perf_counter()
+    for b in rhs[:BASELINE_CALLS]:
+        res = pdgesv(
+            A, b, grid, block_size=B, machine=unit_machine(), engine=ENGINE
+        )
+        assert res.backward_errors[-1] < 1e-14
+    base_rps = BASELINE_CALLS / (time.perf_counter() - start)
+
+    served = benchmark.pedantic(
+        _serve, args=(factor, rhs, 8), rounds=3, iterations=1
+    )
+    assert served["batches"] <= -(-REQUESTS // 8)
+    speedup = served["rps"] / base_rps
+    benchmark.extra_info["n"] = N
+    benchmark.extra_info["P"] = P
+    benchmark.extra_info["grid"] = f"{grid.nprow}x{grid.npcol}"
+    benchmark.extra_info["requests"] = REQUESTS
+    benchmark.extra_info["baseline_rps"] = base_rps
+    benchmark.extra_info["service_rps"] = served["rps"]
+    benchmark.extra_info["p50_ms"] = served["p50_ms"]
+    benchmark.extra_info["p95_ms"] = served["p95_ms"]
+    benchmark.extra_info["speedup_window8_over_pdgesv"] = speedup
+    # The acceptance bar of the serving layer (also gated by baseline.json).
+    assert speedup >= 3.0, f"window-8 serving speedup {speedup:.2f}x < 3x"
+
+
+def test_bench_serving_window_sweep(benchmark):
+    """Requests/sec and p50/p95 latency across nrhs batching windows."""
+    _, _, factor, rhs = _setup()
+
+    def sweep():
+        return [_serve(factor, rhs, w) for w in (1, 4, 8, 16)]
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    by_window = {r["window"]: r for r in rows}
+    # Batching monotonically reduces sweeps; throughput must reward it.
+    assert by_window[8]["sweeps"] < by_window[1]["sweeps"]
+    assert by_window[8]["rps"] > by_window[1]["rps"]
+    benchmark.extra_info["rows"] = [
+        {k: float(v) for k, v in r.items()} for r in rows
+    ]
+    benchmark.extra_info["speedup_window8_over_window1"] = (
+        by_window[8]["rps"] / by_window[1]["rps"]
+    )
+
+
+def test_bench_factor_reuse_vs_refactor(benchmark):
+    """The amortization story: pdgesv_solve vs cold pdgesv on one factor."""
+    grid, A, factor, rhs = _setup()
+    stacked = np.column_stack(rhs[:8])
+
+    start = time.perf_counter()
+    cold = pdgesv(
+        A, stacked, grid, block_size=B, machine=unit_machine(), engine=ENGINE
+    )
+    cold_s = time.perf_counter() - start
+
+    warm = benchmark.pedantic(
+        pdgesv_solve,
+        args=(factor, stacked),
+        kwargs={"machine": unit_machine(), "engine": ENGINE},
+        rounds=3,
+        iterations=1,
+    )
+    # Bit-identical reuse is the acceptance bar of the factor cache.
+    assert np.array_equal(cold.x, warm.x)
+    assert cold.residual_norms == warm.residual_norms
+    start = time.perf_counter()
+    pdgesv_solve(factor, stacked, machine=unit_machine(), engine=ENGINE)
+    warm_s = time.perf_counter() - start
+    benchmark.extra_info["cold_pdgesv_s"] = cold_s
+    benchmark.extra_info["warm_solve_s"] = warm_s
+    benchmark.extra_info["speedup_cached_factor"] = cold_s / warm_s
+    assert warm_s < cold_s

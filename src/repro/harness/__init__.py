@@ -26,7 +26,9 @@ from .spec import (
     register,
     spec_names,
 )
-from .store import FetchResult, ResultStore, context_key, resolved_engine
+from .factor_cache import FactorCache, FactorFetch, factor_key, generate_matrix
+from .serving import ServiceStats, SolveOutcome, SolveService
+from .store import FetchResult, ResultStore, context_key, key_lock, resolved_engine
 from .sweep import SweepJob, SweepResult, expand_grid, run_sweep
 
 __all__ = [
@@ -42,7 +44,15 @@ __all__ = [
     "FetchResult",
     "ResultStore",
     "context_key",
+    "key_lock",
     "resolved_engine",
+    "FactorCache",
+    "FactorFetch",
+    "factor_key",
+    "generate_matrix",
+    "SolveService",
+    "SolveOutcome",
+    "ServiceStats",
     "SweepJob",
     "SweepResult",
     "expand_grid",

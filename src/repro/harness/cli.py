@@ -12,9 +12,20 @@ Subcommands
     Expand a parameter grid and run the combinations concurrently.
 ``repro report [SPEC ...]``
     Render cached artifacts without re-running anything.
+``repro serve``
+    Start a :class:`~repro.harness.serving.SolveService` on a (cached)
+    factorization, fire concurrent solve requests at it, and report
+    per-request latency/residuals plus throughput.
+``repro bench-serve``
+    Measure serving throughput (requests/sec, p50/p95 latency) across
+    batching windows against the one-``pdgesv``-per-request baseline.
+``repro cache``
+    List or purge the content-addressed stores (experiment results and
+    cached factorizations): artifact counts, bytes, per-spec breakdown.
 
 Global knobs: ``--engine`` (virtual-MPI engine), ``--tier`` (kernel tier),
 ``--results-dir`` (artifact store root, also ``REPRO_RESULTS_DIR``),
+``--factor-cache-dir`` (factor cache root, also ``REPRO_FACTOR_CACHE_DIR``),
 ``--format text|csv|json|markdown``, ``--quick`` (scaled-down sizes).
 """
 
@@ -234,6 +245,329 @@ def cmd_sweep(args: argparse.Namespace) -> int:
     return 1 if result.errors else 0
 
 
+def _percentile(values: List[float], q: float) -> float:
+    """Nearest-rank percentile of a non-empty list (q in [0, 100])."""
+    ordered = sorted(values)
+    rank = max(0, min(len(ordered) - 1, int(round(q / 100.0 * (len(ordered) - 1)))))
+    return ordered[rank]
+
+
+def _serve_requests(service, rhs_list, slo):
+    """Fire one thread per request at a running service; return outcomes."""
+    import threading
+
+    outcomes: List[object] = [None] * len(rhs_list)
+    barrier = threading.Barrier(len(rhs_list))
+
+    def fire(i: int) -> None:
+        barrier.wait()
+        outcomes[i] = service.submit(rhs_list[i], slo=slo).result(timeout=300)
+
+    threads = [
+        threading.Thread(target=fire, args=(i,)) for i in range(len(rhs_list))
+    ]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    return outcomes
+
+
+def _request_rhs(factor, kind: str, seed: int, count: int) -> List[object]:
+    """Deterministic per-request right-hand sides for the serving commands."""
+    import numpy as np
+
+    from .factor_cache import generate_matrix
+
+    A = generate_matrix(kind, factor.n, seed=seed)
+    rng = np.random.default_rng(seed + 104729)
+    return [A @ rng.standard_normal(factor.n) for _ in range(count)]
+
+
+def cmd_serve(args: argparse.Namespace) -> int:
+    import time
+
+    from .factor_cache import FactorCache
+    from .serving import SolveService
+
+    _apply_context(args)
+    cache = FactorCache(root=args.factor_cache_dir)
+    fetch = cache.fetch_or_factor(
+        kind=args.kind,
+        n=args.n,
+        seed=args.seed,
+        grid=args.P,
+        block_size=args.b,
+        pivoting=getattr(args, "pivoting", None),
+        engine=getattr(args, "engine", None),
+        use_cache=not args.no_cache,
+        force=args.force,
+    )
+    factor = fetch.factor
+    print(
+        f"factor cache {'hit' if fetch.cached else 'miss'} "
+        f"(key={fetch.key[:12]}, kind={args.kind}, n={factor.n}, "
+        f"grid={factor.nprow}x{factor.npcol}, b={factor.block_size}, "
+        f"pivoting={factor.pivoting}, tier={factor.kernel_tier}, "
+        f"engine={factor.engine})",
+        file=sys.stderr,
+    )
+
+    rhs_list = _request_rhs(factor, args.kind, args.seed, args.requests)
+    start = time.perf_counter()
+    with SolveService(
+        factor,
+        window=args.window,
+        linger_s=args.linger,
+        engine=getattr(args, "engine", None),
+        refine=args.refine,
+        default_slo=args.slo,
+    ) as service:
+        outcomes = _serve_requests(service, rhs_list, slo=args.slo)
+    elapsed = time.perf_counter() - start
+
+    rows = [
+        {
+            "request": i,
+            "latency_ms": o.latency_s * 1e3,
+            "residual": o.residual,
+            "iterations": o.iterations,
+            "met_slo": o.met_slo,
+            "batch": o.batch_id,
+            "batch_size": o.batch_size,
+        }
+        for i, o in enumerate(outcomes)
+    ]
+    latencies = [o.latency_s * 1e3 for o in outcomes]
+    stats = service.stats
+    print(
+        f"served {stats.requests} requests in {stats.batches} batches "
+        f"({stats.sweeps} pdtrsv sweeps) in {elapsed:.3f}s: "
+        f"{stats.requests / elapsed:.1f} req/s, "
+        f"p50 {_percentile(latencies, 50):.1f} ms, "
+        f"p95 {_percentile(latencies, 95):.1f} ms, "
+        f"slo_misses={stats.slo_misses}",
+        file=sys.stderr,
+    )
+    _emit(
+        rows,
+        args,
+        columns=("request", "latency_ms", "residual", "iterations", "met_slo",
+                 "batch", "batch_size"),
+        metadata={
+            "kind": args.kind,
+            "n": factor.n,
+            "grid": f"{factor.nprow}x{factor.npcol}",
+            "b": factor.block_size,
+            "window": args.window,
+            "factor_cached": fetch.cached,
+            "factor_key": fetch.key,
+            **stats.snapshot(),
+        },
+        title=f"solve service: {args.kind} n={factor.n} window={args.window}",
+    )
+    return 1 if stats.slo_misses else 0
+
+
+def cmd_bench_serve(args: argparse.Namespace) -> int:
+    import time
+
+    import numpy as np
+
+    from ..layouts.grid import ProcessGrid
+    from ..parallel.psolve import pdgesv
+    from .factor_cache import FactorCache, generate_matrix
+    from .serving import SolveService
+
+    _apply_context(args)
+    windows = [int(w) for w in str(args.windows).split(",")]
+    cache = FactorCache(root=args.factor_cache_dir)
+    fetch = cache.fetch_or_factor(
+        kind=args.kind,
+        n=args.n,
+        seed=args.seed,
+        grid=args.P,
+        block_size=args.b,
+        pivoting=getattr(args, "pivoting", None),
+        engine=getattr(args, "engine", None),
+        use_cache=not args.no_cache,
+        force=args.force,
+    )
+    factor = fetch.factor
+    grid = ProcessGrid(factor.nprow, factor.npcol)
+    rhs_list = _request_rhs(factor, args.kind, args.seed, args.requests)
+    A = generate_matrix(args.kind, factor.n, seed=args.seed)
+
+    rows: List[Dict[str, object]] = []
+    # Baseline: one cold pdgesv (factor + solve) per request, serially.
+    n_base = min(args.requests, args.baseline_requests)
+    start = time.perf_counter()
+    for b in rhs_list[:n_base]:
+        pdgesv(
+            A, b, grid, block_size=factor.block_size,
+            engine=getattr(args, "engine", None) or factor.engine,
+            pivoting=factor.pivoting,
+        )
+    base_elapsed = time.perf_counter() - start
+    base_rps = n_base / base_elapsed
+    base_ms = base_elapsed / n_base * 1e3
+    rows.append(
+        {
+            "mode": "pdgesv-per-request",
+            "window": 1,
+            "requests": n_base,
+            "batches": n_base,
+            "rps": base_rps,
+            "p50_ms": base_ms,
+            "p95_ms": base_ms,
+            "speedup_vs_pdgesv": 1.0,
+        }
+    )
+    print(
+        f"baseline: {n_base} cold pdgesv calls, {base_rps:.2f} req/s",
+        file=sys.stderr,
+    )
+
+    for window in windows:
+        start = time.perf_counter()
+        with SolveService(
+            factor,
+            window=window,
+            linger_s=args.linger,
+            engine=getattr(args, "engine", None),
+            default_slo=args.slo,
+        ) as service:
+            outcomes = _serve_requests(service, rhs_list, slo=args.slo)
+        elapsed = time.perf_counter() - start
+        latencies = [o.latency_s * 1e3 for o in outcomes]
+        rps = args.requests / elapsed
+        rows.append(
+            {
+                "mode": "service",
+                "window": window,
+                "requests": args.requests,
+                "batches": service.stats.batches,
+                "rps": rps,
+                "p50_ms": _percentile(latencies, 50),
+                "p95_ms": _percentile(latencies, 95),
+                "speedup_vs_pdgesv": rps / base_rps,
+            }
+        )
+        print(
+            f"window={window}: {rps:.2f} req/s "
+            f"({service.stats.batches} batches, "
+            f"speedup {rps / base_rps:.2f}x vs cold pdgesv)",
+            file=sys.stderr,
+        )
+        assert all(np.isfinite(o.residual) for o in outcomes)
+
+    _emit(
+        rows,
+        args,
+        columns=("mode", "window", "requests", "batches", "rps",
+                 "p50_ms", "p95_ms", "speedup_vs_pdgesv"),
+        metadata={
+            "kind": args.kind,
+            "n": factor.n,
+            "grid": f"{factor.nprow}x{factor.npcol}",
+            "b": factor.block_size,
+            "slo": args.slo,
+            "factor_key": fetch.key,
+        },
+        title=(
+            f"serving throughput: {args.kind} n={factor.n} "
+            f"P={factor.nprow * factor.npcol}"
+        ),
+    )
+    return 0
+
+
+def cmd_cache(args: argparse.Namespace) -> int:
+    from .factor_cache import FactorCache
+
+    store = _store(args)
+    factors = FactorCache(root=args.factor_cache_dir)
+
+    if args.action == "purge":
+        removed_results = 0
+        removed_bytes = 0
+        if store.root.is_dir():
+            for spec_dir in sorted(p for p in store.root.iterdir() if p.is_dir()):
+                for path in sorted(spec_dir.glob("*.json")):
+                    try:
+                        removed_bytes += path.stat().st_size
+                        path.unlink()
+                        removed_results += 1
+                    except OSError:
+                        pass
+        factor_bytes = factors.total_bytes()
+        removed_factors = factors.purge()
+        print(
+            f"purged {removed_results} result artifacts ({removed_bytes} bytes) "
+            f"and {removed_factors} cached factors ({factor_bytes} bytes)",
+            file=sys.stderr,
+        )
+        return 0
+
+    rows: List[Dict[str, object]] = []
+    total_count = 0
+    total_bytes = 0
+    if store.root.is_dir():
+        for spec_dir in sorted(p for p in store.root.iterdir() if p.is_dir()):
+            paths = sorted(spec_dir.glob("*.json"))
+            if not paths:
+                continue
+            size = 0
+            for path in paths:
+                try:
+                    size += path.stat().st_size
+                except OSError:
+                    pass
+            rows.append(
+                {
+                    "store": "results",
+                    "entry": spec_dir.name,
+                    "artifacts": len(paths),
+                    "bytes": size,
+                }
+            )
+            total_count += len(paths)
+            total_bytes += size
+    for entry in factors.entries():
+        rows.append(
+            {
+                "store": "factors",
+                "entry": (
+                    f"{entry.get('kind', '?')} n={entry['n']} "
+                    f"{entry['nprow']}x{entry['npcol']} b={entry['block_size']} "
+                    f"{entry['pivoting']}/{entry['kernel_tier']}/{entry['engine']}"
+                ),
+                "artifacts": 1,
+                "bytes": entry["bytes"],
+            }
+        )
+        total_count += 1
+        total_bytes += int(entry["bytes"])
+    print(
+        f"results store: {store.root} — factor cache: {factors.root} — "
+        f"{total_count} artifacts, {total_bytes} bytes total",
+        file=sys.stderr,
+    )
+    _emit(
+        rows,
+        args,
+        columns=("store", "entry", "artifacts", "bytes"),
+        metadata={
+            "results_root": str(store.root),
+            "factor_cache_root": str(factors.root),
+            "total_artifacts": total_count,
+            "total_bytes": total_bytes,
+        },
+        title="content-addressed caches",
+    )
+    return 0
+
+
 def cmd_report(args: argparse.Namespace) -> int:
     store = _store(args)
     names = args.specs or [None]
@@ -314,6 +648,58 @@ def build_parser() -> argparse.ArgumentParser:
     p_report.add_argument("specs", nargs="*", metavar="SPEC")
     add_common(p_report, cache=False)
     p_report.set_defaults(fn=cmd_report)
+
+    def add_serving_common(p: argparse.ArgumentParser) -> None:
+        p.add_argument("--kind", default="randn",
+                       help="matrix family (randn|uniform|toeplitz|diagonally_dominant)")
+        p.add_argument("--n", type=int, default=96, help="matrix dimension")
+        p.add_argument("--seed", type=int, default=0, help="matrix seed")
+        p.add_argument("--P", type=int, default=4,
+                       help="process count (near-square grid)")
+        p.add_argument("--b", type=int, default=16, help="block size")
+        p.add_argument("--requests", type=int, default=16,
+                       help="number of solve requests to fire")
+        p.add_argument("--slo", type=float, default=None,
+                       help="per-request max-abs residual SLO")
+        p.add_argument("--linger", type=float, default=0.02,
+                       help="batching window linger in seconds")
+        p.add_argument("--factor-cache-dir", default=None,
+                       help="factor cache root (default: $REPRO_FACTOR_CACHE_DIR "
+                            "or factors/)")
+
+    p_serve = sub.add_parser(
+        "serve", help="serve concurrent solves from a cached factorization"
+    )
+    add_serving_common(p_serve)
+    p_serve.add_argument("--window", type=int, default=8,
+                         help="max RHS columns coalesced into one sweep")
+    p_serve.add_argument("--refine", type=int, default=2,
+                         help="refinement budget per batch")
+    add_common(p_serve)
+    p_serve.set_defaults(fn=cmd_serve)
+
+    p_bserve = sub.add_parser(
+        "bench-serve",
+        help="serving throughput/latency across batching windows vs cold pdgesv",
+    )
+    add_serving_common(p_bserve)
+    p_bserve.add_argument("--windows", default="1,2,4,8",
+                          help="comma-separated batching windows to measure")
+    p_bserve.add_argument("--baseline-requests", type=int, default=4,
+                          help="cold pdgesv calls timed for the baseline row")
+    add_common(p_bserve)
+    p_bserve.set_defaults(fn=cmd_bench_serve)
+
+    p_cache = sub.add_parser(
+        "cache", help="list or purge the result store and the factor cache"
+    )
+    p_cache.add_argument("action", nargs="?", choices=("list", "purge"),
+                         default="list")
+    p_cache.add_argument("--factor-cache-dir", default=None,
+                         help="factor cache root (default: $REPRO_FACTOR_CACHE_DIR "
+                              "or factors/)")
+    add_common(p_cache, cache=False)
+    p_cache.set_defaults(fn=cmd_cache)
 
     return parser
 

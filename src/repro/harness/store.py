@@ -37,6 +37,22 @@ DEFAULT_ROOT = "results"
 #: Artifact schema version (bumped on incompatible layout changes).
 SCHEMA_VERSION = 1
 
+#: Process-wide per-key locks making cached runs single-flight: two
+#: concurrent fetches of the same context key compute once — the second
+#: waits and is then served the artifact the first one stored.  Keyed by
+#: (store root, context key) so distinct stores never contend.
+_KEY_LOCKS: Dict[object, threading.Lock] = {}
+_KEY_LOCKS_GUARD = threading.Lock()
+
+
+def key_lock(key: object) -> threading.Lock:
+    """The process-wide lock serializing computation of one cache key."""
+    with _KEY_LOCKS_GUARD:
+        lock = _KEY_LOCKS.get(key)
+        if lock is None:
+            lock = _KEY_LOCKS[key] = threading.Lock()
+        return lock
+
 
 def resolved_engine(engine: Optional[str] = None) -> str:
     """The virtual-MPI engine name that would be used by a run right now."""
@@ -168,6 +184,11 @@ class ResultStore:
 
         ``force`` recomputes and overwrites; ``use_cache=False`` bypasses the
         store entirely (nothing read, nothing written).
+
+        Cached runs are single-flight: two concurrent calls with the same
+        context key take a per-key lock, so one computes and stores the
+        artifact and the other waits, then loads it as a cache hit instead
+        of recomputing.
         """
         params, tier, eng, piv, key = self.run_context(
             spec, overrides, quick=quick, engine=engine
@@ -178,6 +199,26 @@ class ResultStore:
             if artifact is not None:
                 return FetchResult(artifact=artifact, cached=True, path=path)
 
+        if use_cache:
+            lock = key_lock((str(self.root), key))
+            lock.acquire()
+        try:
+            if use_cache and not force:
+                # Another thread may have computed and stored the artifact
+                # while this one waited on the key lock.
+                artifact = self.load(path)
+                if artifact is not None:
+                    return FetchResult(artifact=artifact, cached=True, path=path)
+            return self._run_and_store(
+                spec, overrides, quick, use_cache, params, tier, eng, piv, key, path
+            )
+        finally:
+            if use_cache:
+                lock.release()
+
+    def _run_and_store(
+        self, spec, overrides, quick, use_cache, params, tier, eng, piv, key, path
+    ) -> FetchResult:
         start = time.perf_counter()
         rows = spec.run(overrides, quick=quick)
         elapsed = time.perf_counter() - start

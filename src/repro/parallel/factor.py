@@ -1,0 +1,166 @@
+"""Cacheable distributed factorizations: the ``FactoredMatrix`` artifact.
+
+The paper's economics (Section 1) say the ``O(n^3)`` factorization dominates
+and communication dominates inside it — which is exactly why a production
+solver pays it *once* and amortizes it over many ``O(n^2)`` triangular
+solves.  :func:`pcalu_factor` (and its partial-pivoting alias
+:func:`pdgetrf_factor`) runs the distributed factorization and packages
+everything the solve phase needs into a :class:`FactoredMatrix`:
+
+* the packed factors ``tril(L, -1) + U`` (the storage convention of
+  :mod:`repro.scalapack.pdtrsv`),
+* the permuted matrix ``P A`` (what iterative refinement computes residuals
+  against),
+* the pivot sequence ``perm``,
+* the layout/grid/strategy metadata (``n``, block size, grid shape,
+  pivoting, kernel tier, engine) that determines the artifact's identity.
+
+:func:`repro.parallel.psolve.pdgesv_solve` consumes a ``FactoredMatrix`` and
+is bit-identical to the solve phase of a cold
+:func:`repro.parallel.psolve.pdgesv`; the content-addressed
+:class:`repro.harness.factor_cache.FactorCache` persists these artifacts so
+the factorization is skipped entirely on a cache hit.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Union
+
+import numpy as np
+
+from ..distsim.engine import ExecutionEngine
+from ..layouts.grid import ProcessGrid
+from ..machines.model import MachineModel
+from .driver import DistributedLUResult
+from .pcalu import pcalu
+
+
+@dataclass
+class FactoredMatrix:
+    """Everything the solve phase needs from a distributed factorization.
+
+    Attributes
+    ----------
+    n:
+        Matrix dimension (the factors are ``n x n``).
+    block_size:
+        Block size ``b`` of the 2-D block-cyclic distribution.
+    nprow, npcol:
+        Process-grid shape the factorization ran on (the solve phase reuses
+        the same grid so the factor blocks are already in place).
+    pivoting, kernel_tier, engine:
+        The resolved strategy/tier/engine that produced the factors — part
+        of the artifact's identity in the factor cache (two factorizations
+        differing in any of these are distinct artifacts).
+    packed:
+        Packed factors ``tril(L, -1) + U`` (unit diagonal of ``L`` implicit).
+    permuted:
+        The permuted matrix ``P A``; iterative refinement computes residuals
+        ``P b - (P A) x`` against it.
+    perm:
+        Row permutation with ``A[perm, :] = L @ U``.
+    key:
+        Content address when the artifact came from (or was stored into) a
+        :class:`~repro.harness.factor_cache.FactorCache`, else ``None``.
+    source:
+        The full :class:`~repro.parallel.driver.DistributedLUResult` when
+        this factorization was computed in-process (its ``trace`` prices the
+        factor phase); ``None`` when loaded from the cache — the whole point
+        being that no factorization ran.
+    """
+
+    n: int
+    block_size: int
+    nprow: int
+    npcol: int
+    pivoting: str
+    kernel_tier: str
+    engine: str
+    packed: np.ndarray
+    permuted: np.ndarray
+    perm: np.ndarray
+    key: Optional[str] = None
+    source: Optional[DistributedLUResult] = None
+
+    @property
+    def grid(self) -> ProcessGrid:
+        return ProcessGrid(self.nprow, self.npcol)
+
+    def nbytes(self) -> int:
+        """In-memory payload size (packed + permuted + perm)."""
+        return int(self.packed.nbytes + self.permuted.nbytes + self.perm.nbytes)
+
+
+def pcalu_factor(
+    A: np.ndarray,
+    grid: ProcessGrid,
+    block_size: int,
+    local_kernel: str = "getf2",
+    machine: Optional[MachineModel] = None,
+    engine: Union[None, str, ExecutionEngine] = None,
+    kernel_tier: Optional[str] = None,
+    pivoting: Optional[str] = None,
+) -> FactoredMatrix:
+    """Factor ``A`` on the grid and package the result for reuse.
+
+    Runs :func:`repro.parallel.pcalu.pcalu` with the given knobs, then
+    precomputes the packed factors and the permuted matrix the solve phase
+    consumes.  The returned :class:`FactoredMatrix` feeds any number of
+    :func:`repro.parallel.psolve.pdgesv_solve` calls, each bit-identical to
+    the solve phase of a cold :func:`repro.parallel.psolve.pdgesv`.
+    """
+    from ..core.strategies import resolve_pivoting
+    from ..harness.store import resolved_engine
+    from ..kernels.tiers import resolve_tier
+
+    A = np.asarray(A, dtype=np.float64)
+    if A.ndim != 2 or A.shape[0] != A.shape[1]:
+        raise ValueError("pcalu_factor expects a square matrix")
+    fact = pcalu(
+        A,
+        grid,
+        block_size,
+        local_kernel=local_kernel,
+        machine=machine,
+        engine=engine,
+        kernel_tier=kernel_tier,
+        pivoting=pivoting,
+    )
+    packed = np.tril(fact.L, -1) + fact.U
+    engine_name = (
+        engine.name if isinstance(engine, ExecutionEngine) else resolved_engine(engine)
+    )
+    return FactoredMatrix(
+        n=A.shape[0],
+        block_size=block_size,
+        nprow=grid.nprow,
+        npcol=grid.npcol,
+        pivoting=resolve_pivoting(pivoting),
+        kernel_tier=resolve_tier(kernel_tier),
+        engine=engine_name,
+        packed=packed,
+        permuted=A[fact.perm, :],
+        perm=np.asarray(fact.perm, dtype=np.int64),
+        source=fact,
+    )
+
+
+def pdgetrf_factor(
+    A: np.ndarray,
+    grid: ProcessGrid,
+    block_size: int,
+    machine: Optional[MachineModel] = None,
+    engine: Union[None, str, ExecutionEngine] = None,
+    kernel_tier: Optional[str] = None,
+) -> FactoredMatrix:
+    """Partial-pivoting factorization artifact (bit-for-bit PDGETRF)."""
+    return pcalu_factor(
+        A,
+        grid,
+        block_size,
+        machine=machine,
+        engine=engine,
+        kernel_tier=kernel_tier,
+        pivoting="pp",
+    )

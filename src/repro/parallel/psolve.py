@@ -27,6 +27,16 @@ iterative refinement.  :func:`pdgesv` chains
 The solve phase's communication is exactly predicted by
 :mod:`repro.models.solve_model`; the ``solve`` experiment spec
 (``repro run solve``) checks the measured message counts against it.
+
+The factorization and the solve are independently callable:
+:func:`repro.parallel.factor.pcalu_factor` produces a reusable
+:class:`~repro.parallel.factor.FactoredMatrix` and :func:`pdgesv_solve` runs
+steps 2-4 against it — bit-identical to the solve phase of a cold
+:func:`pdgesv`, which is itself just the composition of the two.  That split
+is what the factor cache and the serving layer
+(:mod:`repro.harness.factor_cache`, :mod:`repro.harness.serving`) build on:
+pay the ``O(n^3)`` factorization once, amortize it over any number of
+``O(n^2)`` solves.
 """
 
 from __future__ import annotations
@@ -53,7 +63,7 @@ from ..scalapack.pdtrsv import (
     pdtrsv_upper,
 )
 from .driver import DistributedLUResult
-from .pcalu import pcalu
+from .factor import FactoredMatrix, pcalu_factor
 
 
 @dataclass
@@ -78,11 +88,16 @@ class DistributedSolveResult:
         Number of refinement steps actually performed.
     factorization:
         The distributed factorization consumed by the solve (its ``trace``
-        prices the factorization phase).
+        prices the factorization phase).  ``None`` when the solve ran
+        against a cached :class:`~repro.parallel.factor.FactoredMatrix`
+        whose factorization happened in another process — no factorization
+        ran here, which is the point of the cache.
     trace:
         Per-rank communication/computation trace of the *solve* phase only
         (triangular solves + refinement), so it can be validated against
         :func:`repro.models.solve_model.solve_message_counts`.
+    factor:
+        The reusable factor artifact the solve consumed (always set).
     """
 
     x: np.ndarray
@@ -90,8 +105,9 @@ class DistributedSolveResult:
     per_rhs_residuals: List[List[float]]
     backward_errors: List[float]
     iterations: int
-    factorization: DistributedLUResult
+    factorization: Optional[DistributedLUResult]
     trace: RunTrace
+    factor: Optional[FactoredMatrix] = None
 
 
 def _distributed_residual(
@@ -195,12 +211,20 @@ def pdgesv_rank(
     nrhs: int,
     max_iterations: int,
     tolerance: float,
+    rhs_slo: Optional[np.ndarray] = None,
 ):
     """SPMD body of the distributed solve + refinement (one rank).
 
     ``pb_blocks`` holds the permuted right-hand-side blocks this rank
     diagonal-owns; the factorization's permutation has already been applied.
     Mirrors :func:`repro.core.solve.solve_with_refinement` step for step.
+
+    ``rhs_slo`` (optional, length ``nrhs``) gives per-RHS max-abs residual
+    targets: refinement continues while any right-hand side exceeds its
+    target, even once the global backward error satisfies ``tolerance``.
+    The targets are agreed on by the same all-reduce as the stop decision,
+    so every rank stops at the same step.  ``None`` leaves the stopping
+    rule exactly as before (bit-identical paths).
     """
     _, y_blocks = yield from pdtrsv_lower_unit.co(
         comm, dist, LUloc, pb_blocks, nrhs, tag=("fwd", 0)
@@ -215,8 +239,16 @@ def pdgesv_rank(
     per_rhs_hist = [per_rhs.tolist()]
     backward = [wb]
     iterations = 0
+
+    def converged(wb_now: float, per_rhs_now: np.ndarray) -> bool:
+        if wb_now > tolerance:
+            return False
+        if rhs_slo is not None and per_rhs_now.size:
+            return bool(np.all(per_rhs_now <= rhs_slo))
+        return True
+
     for it in range(1, max_iterations + 1):
-        if backward[-1] <= tolerance:
+        if converged(backward[-1], per_rhs):
             break
         _, dy_blocks = yield from pdtrsv_lower_unit.co(
             comm, dist, LUloc, r_blocks, nrhs, tag=("fwd", it)
@@ -297,20 +329,7 @@ def pdgesv(
     -------
     DistributedSolveResult
     """
-    A = np.asarray(A, dtype=np.float64)
-    if A.ndim != 2 or A.shape[0] != A.shape[1]:
-        raise ValueError("pdgesv expects a square matrix")
-    n = A.shape[0]
-    b = np.asarray(b, dtype=np.float64)
-    one_d = b.ndim == 1
-    B = b[:, None] if one_d else b
-    if B.shape[0] != n:
-        raise ValueError(
-            f"right-hand side has {B.shape[0]} rows, expected {n}"
-        )
-    nrhs = B.shape[1]
-
-    fact = pcalu(
+    factor = pcalu_factor(
         A,
         grid,
         block_size,
@@ -320,18 +339,81 @@ def pdgesv(
         kernel_tier=kernel_tier,
         pivoting=pivoting,
     )
+    return pdgesv_solve(
+        factor,
+        b,
+        machine=machine,
+        engine=engine,
+        refine=refine,
+        tolerance=tolerance,
+    )
+
+
+def pdgesv_solve(
+    factor: FactoredMatrix,
+    b: np.ndarray,
+    machine: Optional[MachineModel] = None,
+    engine: Union[None, str, ExecutionEngine] = None,
+    refine: int = 2,
+    tolerance: float = 1.0e-16,
+    rhs_slo: Optional[np.ndarray] = None,
+) -> DistributedSolveResult:
+    """Solve ``A x = b`` against an already-computed (possibly cached) factor.
+
+    Skips refactorization entirely: applies the factor's row permutation to
+    the right-hand sides, runs the two blocked distributed triangular sweeps
+    and distributed iterative refinement on the factor's grid.  With the
+    same right-hand sides and knobs this is bit-identical — solution,
+    residual history and solve-phase trace — to the solve phase of a cold
+    :func:`pdgesv` that produced ``factor``.
+
+    Parameters
+    ----------
+    factor:
+        The :class:`~repro.parallel.factor.FactoredMatrix` to solve against
+        (from :func:`~repro.parallel.factor.pcalu_factor` or a
+        :class:`~repro.harness.factor_cache.FactorCache` hit).
+    b:
+        Right-hand side(s): ``n``-vector or ``n x nrhs`` matrix; ``nrhs=0``
+        is a valid empty batch and returns an empty solution.
+    machine, engine:
+        Machine model and execution engine for the solve phase (defaulting
+        like :func:`pdgesv`; the factor records the engine that produced it
+        but the solve may run on any engine — all three are bit-identical).
+    refine, tolerance:
+        Refinement budget and backward-error stop, as in :func:`pdgesv`.
+    rhs_slo:
+        Optional per-RHS max-abs residual targets (length ``nrhs``): the
+        refinement loop keeps iterating, within ``refine``, while any
+        right-hand side exceeds its target.  Used by the serving layer to
+        honor per-request residual SLOs inside one coalesced sweep.
+    """
+    n = factor.n
+    b = np.asarray(b, dtype=np.float64)
+    one_d = b.ndim == 1
+    B = b[:, None] if one_d else b
+    if B.shape[0] != n:
+        raise ValueError(
+            f"right-hand side has {B.shape[0]} rows, expected {n}"
+        )
+    nrhs = B.shape[1]
+    if rhs_slo is not None:
+        rhs_slo = np.asarray(rhs_slo, dtype=np.float64)
+        if rhs_slo.shape != (nrhs,):
+            raise ValueError(
+                f"rhs_slo has shape {rhs_slo.shape}, expected ({nrhs},)"
+            )
 
     # Packed factors, permuted matrix and permuted RHS, redistributed
     # block-cyclically.  Working in the permuted row space throughout means
     # residuals and backward errors are computed rowwise on ``P A`` / ``P b``
     # — the same values as for ``A`` / ``b``, since both are row
     # permutations of the unpermuted quantities.
-    packed = np.tril(fact.L, -1) + fact.U
-    PA = A[fact.perm, :]
-    pB = B[fact.perm, :]
-    dist = BlockCyclic2D(n, n, block_size, grid)
-    LU_locals = dist.scatter(packed)
-    PA_locals = dist.scatter(PA)
+    grid = factor.grid
+    pB = B[factor.perm, :]
+    dist = BlockCyclic2D(n, n, factor.block_size, grid)
+    LU_locals = dist.scatter(factor.packed)
+    PA_locals = dist.scatter(factor.permuted)
     nb = dist.num_block_rows()
     pb_by_rank: Dict[int, RhsBlocks] = {r: {} for r in range(grid.size)}
     for k in range(nb):
@@ -349,6 +431,7 @@ def pdgesv(
                 nrhs,
                 refine,
                 tolerance,
+                rhs_slo,
             )
         )
 
@@ -366,6 +449,7 @@ def pdgesv(
         per_rhs_residuals=first["per_rhs"],
         backward_errors=first["backward"],
         iterations=first["iterations"],
-        factorization=fact,
+        factorization=factor.source,
         trace=trace,
+        factor=factor,
     )

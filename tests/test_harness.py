@@ -498,3 +498,118 @@ def test_ambient_invariant_spec_ignores_pivoting_env(tmp_path):
     assert same.cached  # no spurious recompute
     assert same.artifact["key"] == default.artifact["key"]
     assert same.artifact["pivoting"] == "ca"  # labeled with the default
+
+
+def test_fetch_or_run_is_single_flight_per_key(tmp_path):
+    """Concurrent fetches of one context key compute exactly once: the
+    first thread runs and stores, the rest wait on the per-key lock and are
+    then served the stored artifact as cache hits."""
+    n_threads = 4
+    barrier = threading.Barrier(n_threads, timeout=30)
+    runs = []
+
+    def counting_runner(m, b, P):
+        runs.append(threading.get_ident())
+        return [{"m": m, "b": b, "P": P}]
+
+    spec = ExperimentSpec(
+        name="_test_single_flight",
+        title="test-only single-flight runner",
+        runner=counting_runner,
+        params={"m": 64, "b": 4, "P": 2},
+    )
+    spec_module.register(spec)
+    store = ResultStore(root=tmp_path)
+    results = [None] * n_threads
+
+    def fetch(i):
+        barrier.wait()
+        results[i] = store.fetch_or_run(spec)
+
+    try:
+        threads = [
+            threading.Thread(target=fetch, args=(i,)) for i in range(n_threads)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=60)
+    finally:
+        spec_module._REGISTRY.pop("_test_single_flight", None)
+
+    assert len(runs) == 1  # the runner executed exactly once
+    assert sum(1 for r in results if not r.cached) == 1
+    assert sum(1 for r in results if r.cached) == n_threads - 1
+    first = results[0].artifact
+    for r in results[1:]:
+        assert r.artifact["key"] == first["key"]
+        assert r.rows == first["rows"]
+
+
+def test_single_flight_lock_is_per_key_and_per_root(tmp_path):
+    from repro.harness import key_lock
+
+    a = key_lock((str(tmp_path / "s1"), "k"))
+    assert a is key_lock((str(tmp_path / "s1"), "k"))
+    assert a is not key_lock((str(tmp_path / "s1"), "other"))
+    assert a is not key_lock((str(tmp_path / "s2"), "k"))
+
+
+# -------------------------------------------------------- solve-as-a-service
+def test_cli_serve_miss_then_hit_and_slo_rows(tmp_path, capsys):
+    serve_args = [
+        "serve", "--kind", "randn", "--n", "32", "--seed", "0", "--P", "4",
+        "--b", "8", "--requests", "6", "--window", "4", "--slo", "1e-9",
+        "--engine", "threaded",
+        "--factor-cache-dir", str(tmp_path / "factors"),
+    ]
+    assert run_cli(serve_args, tmp_path) == 0
+    captured = capsys.readouterr()
+    assert "factor cache miss" in captured.err
+    assert "req/s" in captured.err and "p95" in captured.err
+    assert "slo_misses=0" in captured.err
+    # Six request rows, all meeting their SLO.
+    assert "met_slo" in captured.out
+    assert captured.out.count("True") == 6
+    # Second run: the factorization is served from the cache.
+    assert run_cli(serve_args, tmp_path) == 0
+    assert "factor cache hit" in capsys.readouterr().err
+
+
+def test_cli_bench_serve_reports_speedup(tmp_path, capsys):
+    assert run_cli(
+        ["bench-serve", "--kind", "randn", "--n", "32", "--P", "4",
+         "--b", "8", "--requests", "8", "--windows", "1,4",
+         "--baseline-requests", "2", "--engine", "threaded",
+         "--factor-cache-dir", str(tmp_path / "factors")],
+        tmp_path,
+    ) == 0
+    out = capsys.readouterr().out
+    assert "pdgesv-per-request" in out
+    assert out.count("service") == 2  # one row per window
+    assert "speedup_vs_pdgesv" in out
+
+
+def test_cli_cache_list_and_purge(tmp_path, capsys):
+    factors = str(tmp_path / "factors")
+    # Populate both stores: one experiment artifact, one factor.
+    assert run_cli(["run", "figure1"], tmp_path) == 0
+    assert run_cli(
+        ["serve", "--n", "32", "--P", "4", "--b", "8", "--requests", "1",
+         "--engine", "threaded", "--factor-cache-dir", factors],
+        tmp_path,
+    ) == 0
+    capsys.readouterr()
+
+    assert run_cli(["cache", "list", "--factor-cache-dir", factors], tmp_path) == 0
+    captured = capsys.readouterr()
+    out = captured.out
+    assert "figure1" in out          # result-store breakdown
+    assert "randn n=32" in out       # factor entry
+    assert "bytes total" in captured.err
+
+    assert run_cli(["cache", "purge", "--factor-cache-dir", factors], tmp_path) == 0
+    assert "purged" in capsys.readouterr().err
+    assert run_cli(["cache", "list", "--factor-cache-dir", factors], tmp_path) == 0
+    out = capsys.readouterr().out
+    assert "randn n=32" not in out

@@ -261,3 +261,156 @@ def test_solve_simulated_time_within_model_envelope():
         res.trace, 48, 8, 2, 2, unit_machine(), nrhs=1, refinements=res.iterations
     )
     assert 0.25 < check.time_ratio <= 1.0
+
+
+# --------------------------------------------------- factor reuse (pdgesv_solve)
+@pytest.mark.parametrize("engine", ("coroutine",) + ENGINES)
+@pytest.mark.parametrize(
+    "n,b,pr,pc,nrhs",
+    [
+        (32, 8, 2, 2, 1),     # even split, power-of-two grid
+        (30, 7, 2, 3, 2),     # ragged n % b, non-power-of-two P = 6
+        (33, 5, 3, 2, 3),     # ragged, non-power-of-two P, Pr > Pc
+    ],
+)
+def test_pdgesv_solve_bit_identical_to_cold_pdgesv(n, b, pr, pc, nrhs, engine):
+    """The factor-cache acceptance bar: reusing a ``FactoredMatrix`` is
+    bit-for-bit the solve phase of a cold ``pdgesv`` — solution, residual
+    history, backward errors, and the solve-phase trace."""
+    from repro.parallel import pcalu_factor, pdgesv_solve
+
+    A, _, rhs = _system(n, nrhs, seed=pr * 10 + pc)
+    grid = ProcessGrid(pr, pc)
+    cold = pdgesv(
+        A, rhs, grid, block_size=b, machine=unit_machine(), engine=engine
+    )
+    factor = pcalu_factor(
+        A, grid, b, machine=unit_machine(), engine=engine
+    )
+    for _ in range(2):  # reuse is idempotent
+        warm = pdgesv_solve(
+            factor, rhs, machine=unit_machine(), engine=engine
+        )
+        assert np.array_equal(cold.x, warm.x)
+        assert cold.residual_norms == warm.residual_norms
+        assert cold.per_rhs_residuals == warm.per_rhs_residuals
+        assert cold.backward_errors == warm.backward_errors
+        assert cold.iterations == warm.iterations
+        # Solve-phase traces price identically: same messages, words, time.
+        assert cold.trace.total_messages == warm.trace.total_messages
+        assert cold.trace.total_words == warm.trace.total_words
+        assert cold.trace.critical_path_time == warm.trace.critical_path_time
+    # A cold pdgesv carries its factor artifact; the reused factor packs
+    # the same bits.
+    assert cold.factor is not None
+    assert np.array_equal(cold.factor.packed, factor.packed)
+    assert np.array_equal(cold.factor.perm, factor.perm)
+
+
+def test_pdgesv_solve_validates_rhs_rows():
+    from repro.parallel import pcalu_factor, pdgesv_solve
+
+    A, _, _ = _system(32, 1, seed=5)
+    factor = pcalu_factor(A, ProcessGrid(2, 2), 8, machine=unit_machine())
+    with pytest.raises(ValueError, match="rows"):
+        pdgesv_solve(factor, np.zeros(31), machine=unit_machine())
+
+
+@pytest.mark.parametrize("engine", ENGINES)
+def test_pdgesv_solve_rhs_slo_drives_extra_refinement(engine):
+    """A finite per-RHS SLO keeps refining past the backward-error stop;
+    ``rhs_slo=None`` preserves the legacy stopping rule bit-for-bit."""
+    from repro.parallel import pcalu_factor, pdgesv_solve
+
+    A, _, rhs = _system(48, 2, seed=9)
+    factor = pcalu_factor(
+        A, ProcessGrid(2, 2), 8, machine=unit_machine(), engine=engine
+    )
+    legacy = pdgesv_solve(factor, rhs, machine=unit_machine(), engine=engine)
+    none_slo = pdgesv_solve(
+        factor, rhs, machine=unit_machine(), engine=engine, rhs_slo=None
+    )
+    assert np.array_equal(legacy.x, none_slo.x)
+    assert legacy.residual_norms == none_slo.residual_norms
+
+    # An infinite SLO changes nothing either (converged() degenerates to
+    # the legacy tolerance check).
+    inf_slo = pdgesv_solve(
+        factor, rhs, machine=unit_machine(), engine=engine,
+        rhs_slo=np.full(2, np.inf),
+    )
+    assert np.array_equal(legacy.x, inf_slo.x)
+    assert legacy.iterations == inf_slo.iterations
+
+    # An unreachable SLO exhausts the refinement budget.
+    hard = pdgesv_solve(
+        factor, rhs, machine=unit_machine(), engine=engine,
+        refine=3, tolerance=0.0, rhs_slo=np.full(2, 1e-300),
+    )
+    assert hard.iterations == 3
+    assert hard.iterations > legacy.iterations
+
+
+# ------------------------------------------------------------------ empty RHS
+@pytest.mark.parametrize("engine", ENGINES)
+def test_pdgesv_zero_rhs_columns(engine):
+    """nrhs = 0 is served cleanly: empty solution, no refinement, and the
+    triangular sweeps still run structurally (messages flow, nothing solves)."""
+    A, _, _ = _system(32, 1, seed=3)
+    res = pdgesv(
+        A, np.zeros((32, 0)), ProcessGrid(2, 2), block_size=8,
+        machine=unit_machine(), engine=engine,
+    )
+    assert res.x.shape == (32, 0)
+    assert res.iterations == 0
+    assert all(r == 0.0 for r in res.residual_norms)
+    assert all(len(step) == 0 for step in res.per_rhs_residuals)
+
+
+@pytest.mark.parametrize("engine", ENGINES)
+def test_pdgesv_solve_zero_rhs_columns_from_factor(engine):
+    from repro.parallel import pcalu_factor, pdgesv_solve
+
+    A, _, _ = _system(30, 1, seed=4)  # ragged n % b
+    factor = pcalu_factor(
+        A, ProcessGrid(2, 2), 7, machine=unit_machine(), engine=engine
+    )
+    res = pdgesv_solve(
+        factor, np.zeros((30, 0)), machine=unit_machine(), engine=engine
+    )
+    assert res.x.shape == (30, 0)
+    assert res.iterations == 0
+
+
+@pytest.mark.parametrize("engine", ENGINES)
+def test_pdtrsv_zero_rhs_columns(engine):
+    """Both triangular sweeps accept a zero-column RHS block."""
+    from repro.distsim import run_spmd
+    from repro.layouts.block_cyclic import BlockCyclic2D
+    from repro.scalapack import pdtrsv_lower_unit, pdtrsv_upper
+    from repro.scalapack.pdtrsv import diag_owner
+
+    n, bsz = 16, 8
+    grid = ProcessGrid(2, 2)
+    dist = BlockCyclic2D(n, n, bsz, grid)
+    T = np.tril(randn(n, seed=31), -1) + np.eye(n) + np.triu(randn(n, seed=32))
+    locs = dist.scatter(T)
+    nblocks = dist.num_block_rows()
+
+    def prog(comm):
+        rhs = {
+            k: np.zeros((bsz, 0))
+            for k in range(nblocks)
+            if diag_owner(dist, k) == comm.rank
+        }
+        _, lower = pdtrsv_lower_unit(comm, dist, locs[comm.rank], dict(rhs), 0)
+        _, upper = pdtrsv_upper(comm, dist, locs[comm.rank], dict(rhs), 0)
+        return (
+            {k: v.shape for k, v in lower.items()},
+            {k: v.shape for k, v in upper.items()},
+        )
+
+    trace = run_spmd(grid.size, prog, machine=unit_machine(), engine=engine)
+    for lower, upper in trace.results:
+        for shape in list(lower.values()) + list(upper.values()):
+            assert shape == (bsz, 0)

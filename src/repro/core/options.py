@@ -1,0 +1,40 @@
+"""Shared ``unknown-option`` error for the registry-addressed knobs.
+
+Every pluggable subsystem of this package — pivoting strategies
+(:mod:`repro.core.strategies`), kernel tiers (:mod:`repro.kernels.tiers`),
+virtual-MPI engines (:mod:`repro.distsim.engine`) and distributed-matmul
+backends (:mod:`repro.matmul`) — resolves a string knob against a registry.
+Historically each rolled its own error; this module gives them one uniformly
+named exception so callers can catch a single type and the messages follow a
+single shape::
+
+    unknown <kind> <name!r>; available: [<registered>, ...]
+
+The exception subclasses :class:`ValueError` so existing ``except ValueError``
+call sites (and tests matching the historical message prefixes) keep working.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+
+class UnknownOptionError(ValueError):
+    """A knob value names no registered option.
+
+    Attributes
+    ----------
+    kind:
+        Human-readable knob kind (``"pivoting strategy"``, ``"kernel tier"``,
+        ``"execution engine"``, ``"matmul backend"``).
+    name:
+        The offending value.
+    available:
+        The registered option names, as a list.
+    """
+
+    def __init__(self, kind: str, name: object, available: Iterable[str]):
+        self.kind = kind
+        self.name = name
+        self.available = list(available)
+        super().__init__(f"unknown {kind} {name!r}; available: {self.available}")

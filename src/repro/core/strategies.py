@@ -42,6 +42,8 @@ from contextlib import contextmanager
 from dataclasses import dataclass
 from typing import Dict, Iterator, List, Optional
 
+from .options import UnknownOptionError
+
 
 @dataclass(frozen=True)
 class PivotingStrategy:
@@ -115,9 +117,7 @@ _process_strategy: Optional[str] = None
 
 def _validate(name: str) -> str:
     if name not in STRATEGIES:
-        raise ValueError(
-            f"unknown pivoting strategy {name!r}; available: {available_strategies()}"
-        )
+        raise UnknownOptionError("pivoting strategy", name, available_strategies())
     return name
 
 

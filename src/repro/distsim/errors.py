@@ -2,25 +2,24 @@
 
 from __future__ import annotations
 
+from ..core.options import UnknownOptionError
+
 
 class SimulationError(RuntimeError):
     """Base class for errors raised by the virtual MPI runtime."""
 
 
-class UnknownEngineError(SimulationError, ValueError):
+class UnknownEngineError(SimulationError, UnknownOptionError):
     """An ``engine=`` / ``REPRO_VMPI_ENGINE`` value names no registered engine.
 
-    Subclasses :class:`ValueError` for backwards compatibility with callers
-    that caught the old bare error.  The message lists the registered engine
-    names; :attr:`available` carries them programmatically.
+    Subclasses :class:`~repro.core.options.UnknownOptionError` (itself a
+    :class:`ValueError`) so the message shape and the ``name`` / ``available``
+    attributes are shared with the pivoting/tier/matmul knobs, and callers
+    that caught the old bare :class:`ValueError` keep working.
     """
 
     def __init__(self, name, available):
-        self.name = name
-        self.available = list(available)
-        super().__init__(
-            f"unknown execution engine {name!r}; available: {self.available}"
-        )
+        UnknownOptionError.__init__(self, "execution engine", name, available)
 
 
 class DeadlockError(SimulationError):

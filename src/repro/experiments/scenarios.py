@@ -114,6 +114,65 @@ def solve_point(
     ]
 
 
+def matmul_tradeoff(
+    n: int = 64,
+    P: int = 49,
+    b: int = 8,
+    matmul: str = "summa",
+    engine: str = DEFAULT_ENGINE,
+    seed: int = 0,
+) -> List[Dict[str, object]]:
+    """Words/messages trade-off of one distributed ``C += A B`` (one row).
+
+    Runs the requested backend's standalone :func:`repro.matmul.pdgemm` on an
+    ``n x n`` product over ``P`` ranks, checks the numerical result against
+    the dense product, validates the measured per-channel message *and* word
+    totals against the backend's exact analytic ledger
+    (:mod:`repro.models.matmul_model`), and reports the words moved next to
+    the Strassen bandwidth lower bound ``(n^3)^{2/3} / P^{2/log2 7}`` — the
+    floor CAPS attains and classical schedules cannot.
+    """
+    from ..layouts.grid import ProcessGrid
+    from ..machines.model import unit_machine
+    from ..matmul import pdgemm
+    from ..models.compare import validate_matmul
+    from ..models.matmul_model import strassen_lower_bound_words
+    from ..randmat.generators import randn
+
+    grid = ProcessGrid.default_for(P)
+    A = randn(n, seed=seed + n)
+    B = randn(n, seed=seed + n + 104729)
+    result = pdgemm(
+        A, B, grid=grid, block_size=b, matmul=matmul,
+        machine=unit_machine(), engine=engine,
+    )
+    max_abs_error = float(np.max(np.abs(result.C - A @ B)))
+    check = validate_matmul(
+        result.trace, matmul, n, n, n, grid, block_size=b
+    )
+    return [
+        {
+            "n": n,
+            "P": P,
+            "grid": f"{grid.nprow}x{grid.npcol}",
+            "b": b,
+            "matmul": matmul,
+            "max_abs_error": max_abs_error,
+            "messages": check.measured["total_messages"],
+            "words": check.measured["total_words"],
+            "model_messages": check.predicted["total_messages"],
+            "model_words": check.predicted["total_words"],
+            "messages_match": check.messages_match,
+            "words_match": check.words_match,
+            "words_per_proc": check.measured["total_words"] / grid.size,
+            "lower_bound_words_per_proc": strassen_lower_bound_words(
+                n, n, n, grid.size
+            ),
+            "seed": seed,
+        }
+    ]
+
+
 SPEC_STABILITY = register(
     ExperimentSpec(
         name="stability",
@@ -183,6 +242,23 @@ SPEC_SOLVE = register(
                  "time_ratio", "seed"),
         paper_ref="Section 6.1 (HPL accuracy on the solution of Ax=b)",
         sweepable=("n", "P", "b", "nrhs", "seed", "pivoting", "engine"),
+    )
+)
+
+SPEC_MATMUL_TRADEOFF = register(
+    ExperimentSpec(
+        name="matmul_tradeoff",
+        title="Distributed matmul point: SUMMA vs CAPS words/messages trade-off",
+        runner=matmul_tradeoff,
+        params={"n": 64, "P": 49, "b": 8, "matmul": "summa",
+                "engine": DEFAULT_ENGINE, "seed": 0},
+        quick={"n": 32, "P": 7, "b": 4},
+        columns=("n", "P", "grid", "b", "matmul", "max_abs_error", "messages",
+                 "words", "model_messages", "model_words", "messages_match",
+                 "words_match", "words_per_proc", "lower_bound_words_per_proc",
+                 "seed"),
+        paper_ref="arXiv:1202.3173 (CAPS)",
+        sweepable=("n", "P", "b", "matmul", "engine", "seed"),
     )
 )
 

@@ -76,7 +76,7 @@ def _parse_grid(items: Optional[Sequence[str]]) -> Dict[str, List[object]]:
 
 
 def _apply_context(args: argparse.Namespace) -> None:
-    """Apply --engine / --tier / --pivoting process-wide so every runner sees them."""
+    """Apply --engine / --tier / --pivoting / --matmul process-wide."""
     if getattr(args, "engine", None):
         os.environ["REPRO_VMPI_ENGINE"] = args.engine
     if getattr(args, "tier", None):
@@ -90,6 +90,13 @@ def _apply_context(args: argparse.Namespace) -> None:
             set_pivoting(args.pivoting)
         except ValueError as exc:
             raise SystemExit(f"error: {exc}")
+    if getattr(args, "matmul", None):
+        from ..matmul import set_matmul
+
+        try:
+            set_matmul(args.matmul)
+        except ValueError as exc:
+            raise SystemExit(f"error: {exc}")
 
 
 def _with_engine(
@@ -98,15 +105,15 @@ def _with_engine(
     args: argparse.Namespace,
     exclude: Sequence[str] = (),
 ) -> Dict[str, object]:
-    """Inject --engine / --pivoting into specs that take them as parameters.
+    """Inject --engine / --pivoting / --matmul into specs taking them as params.
 
     Such runners use their parameter, not the ambient ``REPRO_VMPI_ENGINE`` /
-    ``REPRO_PIVOTING``, so the flags must flow in as overrides to take
-    precedence (an explicit ``--set engine=...`` / ``--set pivoting=...``
-    still wins).  ``exclude`` names parameters that must not be injected
-    (sweep axes already spanning that knob).
+    ``REPRO_PIVOTING`` / ``REPRO_MATMUL``, so the flags must flow in as
+    overrides to take precedence (an explicit ``--set engine=...`` /
+    ``--set pivoting=...`` still wins).  ``exclude`` names parameters that
+    must not be injected (sweep axes already spanning that knob).
     """
-    for flag in ("engine", "pivoting"):
+    for flag in ("engine", "pivoting", "matmul"):
         value = getattr(args, flag, None)
         if value and flag in spec.params and flag not in overrides and flag not in exclude:
             overrides = {**overrides, flag: value}
@@ -142,6 +149,7 @@ def _status_line(fetch: FetchResult, spec: ExperimentSpec) -> str:
         f"{spec.name}{ref}: {fetch.artifact['n_rows']} rows ({source}; "
         f"tier={fetch.artifact['kernel_tier']}, engine={fetch.artifact['engine']}, "
         f"pivoting={fetch.artifact.get('pivoting', 'ca')}, "
+        f"matmul={fetch.artifact.get('matmul', 'summa')}, "
         f"key={fetch.artifact['key'][:12]})"
     )
 
@@ -300,6 +308,7 @@ def cmd_serve(args: argparse.Namespace) -> int:
         block_size=args.b,
         pivoting=getattr(args, "pivoting", None),
         engine=getattr(args, "engine", None),
+        matmul=getattr(args, "matmul", None),
         use_cache=not args.no_cache,
         force=args.force,
     )
@@ -309,7 +318,7 @@ def cmd_serve(args: argparse.Namespace) -> int:
         f"(key={fetch.key[:12]}, kind={args.kind}, n={factor.n}, "
         f"grid={factor.nprow}x{factor.npcol}, b={factor.block_size}, "
         f"pivoting={factor.pivoting}, tier={factor.kernel_tier}, "
-        f"engine={factor.engine})",
+        f"engine={factor.engine}, matmul={factor.matmul})",
         file=sys.stderr,
     )
 
@@ -390,6 +399,7 @@ def cmd_bench_serve(args: argparse.Namespace) -> int:
         block_size=args.b,
         pivoting=getattr(args, "pivoting", None),
         engine=getattr(args, "engine", None),
+        matmul=getattr(args, "matmul", None),
         use_cache=not args.no_cache,
         force=args.force,
     )
@@ -541,6 +551,7 @@ def cmd_cache(args: argparse.Namespace) -> int:
                     f"{entry.get('kind', '?')} n={entry['n']} "
                     f"{entry['nprow']}x{entry['npcol']} b={entry['block_size']} "
                     f"{entry['pivoting']}/{entry['kernel_tier']}/{entry['engine']}"
+                    f"/{entry.get('matmul', 'summa')}"
                 ),
                 "artifacts": 1,
                 "bytes": entry["bytes"],
@@ -590,6 +601,7 @@ def cmd_report(args: argparse.Namespace) -> int:
             f"{artifact['spec']} ({artifact.get('paper_ref') or 'scenario'}; "
             f"tier={artifact['kernel_tier']}, engine={artifact['engine']}, "
             f"pivoting={artifact.get('pivoting', 'ca')}, "
+            f"matmul={artifact.get('matmul', 'summa')}, "
             f"key={artifact['key'][:12]}, {artifact['created_at']})"
         )
         _emit(artifact["rows"], args, columns=columns, title=title)
@@ -617,6 +629,8 @@ def build_parser() -> argparse.ArgumentParser:
                            help="kernel tier (auto|reference|lapack)")
             p.add_argument("--pivoting", default=None,
                            help="pivoting strategy (pp|ca|ca_prrp)")
+            p.add_argument("--matmul", default=None,
+                           help="distributed matmul backend (summa|caps)")
             p.add_argument("--quick", action="store_true",
                            help="scaled-down sizes for smoke runs")
             p.add_argument("--force", action="store_true",

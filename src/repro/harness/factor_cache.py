@@ -8,9 +8,10 @@ factor's identity is the SHA-256 of everything that determines its bits —
 * the matrix spec: generator ``kind`` (a :mod:`repro.randmat` family), size
   ``n`` and ``seed``;
 * the run configuration: grid shape ``Pr x Pc``, block size ``b``, and the
-  resolved ``pivoting`` strategy, ``kernel_tier`` and ``engine`` (all three
-  are keyed exactly like the result store keys them: a factor produced by
-  CALU_PRRP must never be served to a CALU request).
+  resolved ``pivoting`` strategy, ``kernel_tier``, ``engine`` and ``matmul``
+  backend (all keyed exactly like the result store keys them: a factor
+  produced by CALU_PRRP — or by the Strassen trailing update — must never be
+  served to a plain CALU request).
 
 Artifacts are ``.npz`` files (packed factors + permuted matrix + pivot
 sequence + a JSON metadata record) under ``factors/`` — relocatable via
@@ -82,6 +83,7 @@ def factor_key(
     pivoting: str,
     kernel_tier: str,
     engine: str,
+    matmul: str = "summa",
 ) -> str:
     """SHA-256 content address of one factorization (hex digest)."""
     canonical = json.dumps(
@@ -95,6 +97,7 @@ def factor_key(
             "pivoting": pivoting,
             "kernel_tier": kernel_tier,
             "engine": engine,
+            "matmul": matmul,
         },
         sort_keys=True,
         separators=(",", ":"),
@@ -157,6 +160,7 @@ class FactorCache:
                     packed=np.asarray(data["packed"], dtype=np.float64),
                     permuted=np.asarray(data["permuted"], dtype=np.float64),
                     perm=np.asarray(data["perm"], dtype=np.int64),
+                    matmul=str(meta.get("matmul", "summa")),
                     key=key,
                 )
         except (OSError, KeyError, ValueError):
@@ -187,6 +191,7 @@ class FactorCache:
             "pivoting": factor.pivoting,
             "kernel_tier": factor.kernel_tier,
             "engine": factor.engine,
+            "matmul": factor.matmul,
         }
         path = self.path_for(key)
         path.parent.mkdir(parents=True, exist_ok=True)
@@ -216,6 +221,7 @@ class FactorCache:
         pivoting: Optional[str] = None,
         kernel_tier: Optional[str] = None,
         engine: Optional[str] = None,
+        matmul: Optional[str] = None,
         machine=None,
         local_kernel: str = "getf2",
         use_cache: bool = True,
@@ -230,6 +236,7 @@ class FactorCache:
         """
         from ..core.strategies import resolve_pivoting
         from ..kernels.tiers import resolve_tier
+        from ..matmul import resolve_matmul
 
         if grid is None:
             grid = ProcessGrid.default_for(4)
@@ -238,8 +245,10 @@ class FactorCache:
         piv = resolve_pivoting(pivoting)
         tier = resolve_tier(kernel_tier)
         eng = resolved_engine(engine)
+        mm = resolve_matmul(matmul)
         key = factor_key(
-            kind, n, seed, grid.nprow, grid.npcol, block_size, piv, tier, eng
+            kind, n, seed, grid.nprow, grid.npcol, block_size, piv, tier, eng,
+            matmul=mm,
         )
         path = self.path_for(key)
 
@@ -258,6 +267,7 @@ class FactorCache:
                 engine=eng,
                 kernel_tier=tier,
                 pivoting=piv,
+                matmul=mm,
             )
             factor.key = key
             if use_cache:

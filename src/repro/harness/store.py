@@ -2,7 +2,8 @@
 
 Each run of a registered spec is identified by the SHA-256 of its *context*:
 the spec name, the fully resolved parameters, the resolved kernel tier, the
-virtual-MPI engine and the resolved pivoting strategy.  The artifact — rows
+virtual-MPI engine, the resolved pivoting strategy and the resolved
+distributed-matmul backend.  The artifact — rows
 plus metadata — is written as JSON under ``results/<spec>/<spec>-<key12>.json``
 (relocatable via the ``REPRO_RESULTS_DIR`` environment variable or an
 explicit root), so a re-run with the same context is a cache hit that loads
@@ -67,13 +68,15 @@ def context_key(
     kernel_tier: str,
     engine: str,
     pivoting: str = "ca",
+    matmul: str = "summa",
 ) -> str:
     """SHA-256 content address of one run context (hex digest).
 
-    ``pivoting`` is part of the context because the process-wide strategy
-    knob (``REPRO_PIVOTING`` / ``--pivoting``) changes what every
-    CALU-driven runner computes — two runs that differ only in pivoting must
-    never share an artifact.
+    ``pivoting`` and ``matmul`` are part of the context because the
+    process-wide knobs (``REPRO_PIVOTING`` / ``--pivoting``,
+    ``REPRO_MATMUL`` / ``--matmul``) change what every CALU-driven runner
+    computes — two runs that differ only in pivoting or in the
+    distributed-matmul backend must never share an artifact.
     """
     canonical = json.dumps(
         {
@@ -82,6 +85,7 @@ def context_key(
             "kernel_tier": kernel_tier,
             "engine": engine,
             "pivoting": pivoting,
+            "matmul": matmul,
         },
         sort_keys=True,
         separators=(",", ":"),
@@ -118,15 +122,17 @@ class ResultStore:
         overrides: Optional[Mapping[str, object]] = None,
         quick: bool = False,
         engine: Optional[str] = None,
-    ) -> Tuple[Dict[str, object], str, str, str, str]:
-        """Resolve (params, kernel_tier, engine, pivoting, key) for one run.
+    ) -> Tuple[Dict[str, object], str, str, str, str, str]:
+        """Resolve (params, kernel_tier, engine, pivoting, matmul, key).
 
-        Specs with an explicit ``engine`` (or ``pivoting``) parameter pass it
-        straight to their runner, so that value — not the ambient
-        ``REPRO_VMPI_ENGINE`` / ``REPRO_PIVOTING`` resolution — is what the
-        run actually uses and what gets keyed and recorded.
+        Specs with an explicit ``engine`` (or ``pivoting`` / ``matmul``)
+        parameter pass it straight to their runner, so that value — not the
+        ambient ``REPRO_VMPI_ENGINE`` / ``REPRO_PIVOTING`` / ``REPRO_MATMUL``
+        resolution — is what the run actually uses and what gets keyed and
+        recorded.
         """
         from ..core.strategies import DEFAULT_STRATEGY, resolve_pivoting
+        from ..matmul import DEFAULT_BACKEND, resolve_matmul
 
         params = spec.resolve_params(overrides, quick=quick)
         tier = resolve_tier()
@@ -144,7 +150,15 @@ class ResultStore:
             piv = DEFAULT_STRATEGY
         else:
             piv = resolve_pivoting()
-        return params, tier, eng, piv, context_key(spec.name, params, tier, eng, piv)
+        if "matmul" in params:
+            mm = str(params["matmul"])
+        elif "matmul" in spec.ambient_invariant:
+            mm = DEFAULT_BACKEND
+        else:
+            mm = resolve_matmul()
+        return params, tier, eng, piv, mm, context_key(
+            spec.name, params, tier, eng, piv, mm
+        )
 
     # -------------------------------------------------------------- load/save
     def load(self, path: Path) -> Optional[Dict[str, object]]:
@@ -190,7 +204,7 @@ class ResultStore:
         artifact and the other waits, then loads it as a cache hit instead
         of recomputing.
         """
-        params, tier, eng, piv, key = self.run_context(
+        params, tier, eng, piv, mm, key = self.run_context(
             spec, overrides, quick=quick, engine=engine
         )
         path = self.path_for(spec.name, key)
@@ -210,14 +224,16 @@ class ResultStore:
                 if artifact is not None:
                     return FetchResult(artifact=artifact, cached=True, path=path)
             return self._run_and_store(
-                spec, overrides, quick, use_cache, params, tier, eng, piv, key, path
+                spec, overrides, quick, use_cache, params, tier, eng, piv, mm,
+                key, path,
             )
         finally:
             if use_cache:
                 lock.release()
 
     def _run_and_store(
-        self, spec, overrides, quick, use_cache, params, tier, eng, piv, key, path
+        self, spec, overrides, quick, use_cache, params, tier, eng, piv, mm,
+        key, path,
     ) -> FetchResult:
         start = time.perf_counter()
         rows = spec.run(overrides, quick=quick)
@@ -232,6 +248,7 @@ class ResultStore:
             "kernel_tier": tier,
             "engine": eng,
             "pivoting": piv,
+            "matmul": mm,
             "created_at": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
             "elapsed_s": elapsed,
             "n_rows": len(rows),

@@ -53,6 +53,8 @@ import os
 from contextlib import contextmanager
 from typing import Iterator, Optional
 
+from ..core.options import UnknownOptionError
+
 #: Recognised tier names.
 TIERS = ("auto", "reference", "lapack")
 
@@ -81,7 +83,7 @@ def lapack_module():
 
 def _validate(tier: str) -> str:
     if tier not in TIERS:
-        raise ValueError(f"unknown kernel tier {tier!r}; available: {list(TIERS)}")
+        raise UnknownOptionError("kernel tier", tier, list(TIERS))
     return tier
 
 

@@ -1,0 +1,150 @@
+"""Pluggable distributed matmul: SUMMA (classical) vs CAPS (Strassen).
+
+The Schur-complement update of CALU/PDGETRF — and the general distributed
+product ``C += A @ B`` — is served by a registry-addressed backend, making
+the multiply algorithm a first-class knob exactly like ``pivoting=``
+(:mod:`repro.core.strategies`), ``kernel_tier=`` (:mod:`repro.kernels.tiers`)
+and ``engine=`` (:mod:`repro.distsim.engine`):
+
+``"summa"`` (the default)
+    The classical broadcast-then-local-GEMM algorithm — bit-identical
+    traces and results to the seed driver.  Bandwidth ``Θ(n²/√P)``.
+
+``"caps"``
+    Communication-optimal parallel Strassen (Ballard-Demmel-Holtz-Schwartz,
+    arXiv:1202.3173): BFS/DFS traversal over rank groups, bandwidth
+    ``Θ(n²/P^{2/ω})`` with ``ω = log2 7`` — asymptotically below every
+    classical algorithm.  Inside the LU driver it keeps the seed broadcast
+    skeleton and swaps in a Strassen local product; the full recursion runs
+    in the standalone :func:`pdgemm`.
+
+Selection, in order of precedence (mirroring the other knobs):
+
+1. per call: ``pcalu(A, ..., matmul="caps")`` (also on ``pdgetrf``,
+   ``pcalu_factor``, ``pdgesv`` and :func:`pdgemm`);
+2. process-wide: :func:`set_matmul` / the :func:`matmul` context manager;
+3. environment: ``REPRO_MATMUL``;
+4. default: ``"summa"``.
+"""
+
+from __future__ import annotations
+
+import os
+from contextlib import contextmanager
+from typing import Dict, Iterator, List, Optional
+
+import numpy as np
+
+from ..core.options import UnknownOptionError
+from .base import MatmulBackend, PdgemmResult
+from .caps import CapsBackend, caps_count_ledger, strassen_multiply
+from .summa import SummaBackend
+
+#: Registered backends (singletons — backends are stateless).
+BACKENDS: Dict[str, MatmulBackend] = {
+    "summa": SummaBackend(),
+    "caps": CapsBackend(),
+}
+
+#: Backend used when neither a per-call argument, a process-wide override,
+#: nor the environment variable is given — the seed-identical algorithm.
+DEFAULT_BACKEND = "summa"
+
+#: Environment variable consulted by :func:`get_matmul` (consistent with
+#: ``REPRO_PIVOTING`` / ``REPRO_KERNEL_TIER`` / ``REPRO_VMPI_ENGINE``).
+ENV_VAR = "REPRO_MATMUL"
+
+_process_backend: Optional[str] = None
+
+
+def _validate(name: str) -> str:
+    if name not in BACKENDS:
+        raise UnknownOptionError("matmul backend", name, available_backends())
+    return name
+
+
+def available_backends() -> List[str]:
+    """Registered backend names, sorted."""
+    return sorted(BACKENDS)
+
+
+def get_backend(name: str) -> MatmulBackend:
+    """Look up one backend object by name."""
+    return BACKENDS[_validate(name)]
+
+
+def get_matmul() -> str:
+    """The process-wide backend (override > ``REPRO_MATMUL`` > ``"summa"``)."""
+    if _process_backend is not None:
+        return _process_backend
+    env = os.environ.get(ENV_VAR)
+    if env:
+        return _validate(env)
+    return DEFAULT_BACKEND
+
+
+def set_matmul(name: Optional[str]) -> None:
+    """Set (or with ``None`` clear) the process-wide backend override."""
+    global _process_backend
+    _process_backend = _validate(name) if name is not None else None
+
+
+@contextmanager
+def matmul(name: str) -> Iterator[None]:
+    """Context manager scoping a process-wide backend override."""
+    global _process_backend
+    previous = _process_backend
+    set_matmul(name)
+    try:
+        yield
+    finally:
+        _process_backend = previous
+
+
+def resolve_matmul(name: Optional[str] = None) -> str:
+    """Resolve a per-call ``matmul=`` argument to a validated backend name."""
+    return _validate(name) if name is not None else get_matmul()
+
+
+def pdgemm(
+    A: np.ndarray,
+    B: np.ndarray,
+    C: Optional[np.ndarray] = None,
+    grid=None,
+    block_size: int = 16,
+    matmul: Optional[str] = None,
+    machine=None,
+    engine=None,
+) -> PdgemmResult:
+    """Distributed ``C += A @ B`` through the selected backend.
+
+    Dispatches on the ``matmul`` knob (per-call > process override >
+    ``REPRO_MATMUL`` > ``"summa"``) and returns a
+    :class:`~repro.matmul.base.PdgemmResult` with the gathered product and
+    the run trace.
+    """
+    backend = get_backend(resolve_matmul(matmul))
+    return backend.pdgemm(
+        A, B, C=C, grid=grid, block_size=block_size,
+        machine=machine, engine=engine,
+    )
+
+
+__all__ = [
+    "BACKENDS",
+    "DEFAULT_BACKEND",
+    "ENV_VAR",
+    "MatmulBackend",
+    "PdgemmResult",
+    "SummaBackend",
+    "CapsBackend",
+    "available_backends",
+    "caps_count_ledger",
+    "get_backend",
+    "get_matmul",
+    "matmul",
+    "pdgemm",
+    "resolve_matmul",
+    "set_matmul",
+    "strassen_multiply",
+]

@@ -4,13 +4,21 @@ from .calu_model import calu_cost, calu_flops
 from .compare import (
     PAPER_GRIDS,
     FactorizationComparison,
+    MatmulValidation,
     PanelComparison,
     SolveValidation,
     best_vs_best,
     compare_factorization,
     compare_panel,
     recursive_speedup,
+    validate_matmul,
     validate_solve,
+)
+from .matmul_model import (
+    caps_message_counts,
+    classical_lower_bound_words,
+    strassen_lower_bound_words,
+    summa_message_counts,
 )
 from .pdgetrf_model import pdgetrf_cost
 from .solve_model import pdtrsv_cost, residual_cost, solve_cost, solve_message_counts
@@ -28,6 +36,12 @@ __all__ = [
     "solve_message_counts",
     "validate_solve",
     "SolveValidation",
+    "validate_matmul",
+    "MatmulValidation",
+    "summa_message_counts",
+    "caps_message_counts",
+    "strassen_lower_bound_words",
+    "classical_lower_bound_words",
     "compare_panel",
     "compare_factorization",
     "best_vs_best",

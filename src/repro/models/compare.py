@@ -250,6 +250,103 @@ def validate_solve(
     )
 
 
+@dataclass
+class MatmulValidation:
+    """Simulated-vs-analytic comparison of one distributed ``pdgemm``.
+
+    ``predicted`` comes from the backend's analytic ledger
+    (:func:`repro.models.matmul_model.summa_message_counts` or
+    :func:`repro.models.matmul_model.caps_message_counts`), ``measured``
+    from the run trace.  Unlike :class:`SolveValidation` the *word* totals
+    are asserted too: both ledgers are exact, not just message-exact.
+    """
+
+    backend: str
+    m: int
+    k: int
+    n: int
+    P: int
+    predicted: Dict[str, float]
+    measured: Dict[str, float]
+    lower_bound_words_per_proc: float
+
+    @property
+    def messages_match(self) -> bool:
+        """True when every per-channel message total matches exactly."""
+        keys = ("messages_col", "messages_row", "messages_any", "total_messages")
+        return all(self.measured[k] == self.predicted[k] for k in keys)
+
+    @property
+    def words_match(self) -> bool:
+        """True when every per-channel word total matches exactly."""
+        keys = ("words_col", "words_row", "words_any", "total_words")
+        return all(self.measured[k] == self.predicted[k] for k in keys)
+
+    @property
+    def above_lower_bound(self) -> bool:
+        """True when measured words/processor respects the bandwidth floor."""
+        return (
+            self.measured["total_words"] / self.P >= self.lower_bound_words_per_proc
+            or self.measured["total_words"] == 0.0
+        )
+
+
+def validate_matmul(
+    trace,
+    backend: str,
+    m: int,
+    k: int,
+    n: int,
+    grid,
+    block_size: int = 16,
+) -> MatmulValidation:
+    """Check a measured ``pdgemm`` trace against the backend's exact ledger.
+
+    ``trace`` is the :class:`~repro.distsim.tracing.RunTrace` of
+    :func:`repro.matmul.pdgemm` (``result.trace``); ``grid`` the
+    :class:`~repro.layouts.grid.ProcessGrid` the product ran on.  The lower
+    bound attached is the one the backend is held to: Strassen's
+    ``(mkn)^{2/3} / P^{2/log2(7)}`` for ``caps``, the classical
+    ``(mkn)^{2/3} / P^{2/3}`` otherwise.
+    """
+    from .matmul_model import (
+        caps_message_counts,
+        classical_lower_bound_words,
+        strassen_lower_bound_words,
+        summa_message_counts,
+    )
+
+    P = grid.size
+    if backend == "caps":
+        predicted = caps_message_counts(m, k, n, P)
+        bound = strassen_lower_bound_words(m, k, n, P)
+    else:
+        predicted = summa_message_counts(
+            m, k, n, grid.nprow, grid.npcol, block_size
+        )
+        bound = classical_lower_bound_words(m, k, n, P)
+    measured = {
+        "messages_col": float(trace.messages_by_channel("col")),
+        "messages_row": float(trace.messages_by_channel("row")),
+        "messages_any": float(trace.messages_by_channel("any")),
+        "total_messages": float(trace.total_messages),
+        "words_col": float(trace.words_by_channel("col")),
+        "words_row": float(trace.words_by_channel("row")),
+        "words_any": float(trace.words_by_channel("any")),
+        "total_words": float(trace.total_words),
+    }
+    return MatmulValidation(
+        backend=backend,
+        m=m,
+        k=k,
+        n=n,
+        P=P,
+        predicted=predicted,
+        measured=measured,
+        lower_bound_words_per_proc=bound,
+    )
+
+
 #: The process grids the paper uses for P = 4 .. 64.
 PAPER_GRIDS: Dict[int, Tuple[int, int]] = {
     4: (2, 2),

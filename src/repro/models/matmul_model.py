@@ -1,0 +1,103 @@
+"""Analytic communication models for the distributed matmul backends.
+
+Two exact per-channel ledgers and two bandwidth lower bounds:
+
+* :func:`summa_message_counts` — closed form for the blocked SUMMA of
+  :mod:`repro.matmul.summa`: per step the grid column owning the current
+  ``k``-panel broadcasts its ``A`` panel along every process row and the
+  owning grid row broadcasts its ``B`` panel down every process column,
+  each with a binomial broadcast (``p - 1`` messages carrying the full
+  payload).
+* :func:`caps_message_counts` — exact replay of the CAPS (Strassen) BFS/DFS
+  schedule of :mod:`repro.matmul.caps`; the runtime and the ledger share
+  the same move predicates, so measured equals modelled by construction.
+* :func:`strassen_lower_bound_words` / :func:`classical_lower_bound_words` —
+  the per-processor communication lower bounds
+  ``Omega((m k n)^{2/3} / P^{2/omega_0})`` with ``omega_0 = log2 7`` for
+  Strassen-like algorithms (Ballard et al., CAPS, arXiv:1202.3173) and
+  ``omega_0 = 3`` classically (Irony-Toledo-Tiskin).  CAPS attains the
+  Strassen bound to within a constant factor, which is asymptotically
+  *below* what any classical schedule (SUMMA included) can achieve.
+
+All count dictionaries use the 8-key schema of
+:func:`repro.models.solve_model.solve_message_counts` — per-channel message
+and word totals plus grand totals — so :func:`repro.models.compare.validate_matmul`
+can assert exact equality against a measured trace.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from ..matmul.caps import OMEGA, caps_count_ledger
+
+
+def summa_message_counts(
+    m: int,
+    k: int,
+    n: int,
+    nprow: int,
+    npcol: int,
+    block_size: int,
+) -> Dict[str, float]:
+    """Exact per-channel message/word totals of one blocked SUMMA ``C += A B``.
+
+    Per ``k``-step (``ceil(k / b)`` of them) every process row runs one
+    binomial broadcast of the owner's local ``A`` panel (channel ``row``)
+    and every process column one broadcast of the owner's local ``B`` panel
+    (channel ``col``).  A binomial broadcast over ``p`` ranks sends ``p - 1``
+    messages, each carrying the full payload; across a whole process row the
+    broadcast payloads tile the global panel, so each step moves
+    ``(npcol - 1) * m * jb`` words on the row channel and
+    ``(nprow - 1) * jb * n`` on the column channel.  Summed over steps the
+    ``jb`` factors telescope to ``k`` even when ``b`` does not divide ``k``.
+    """
+    steps = -(-k // block_size)  # ceil
+    messages_row = float(steps * nprow * (npcol - 1))
+    messages_col = float(steps * npcol * (nprow - 1))
+    words_row = float((npcol - 1) * m * k)
+    words_col = float((nprow - 1) * k * n)
+    return {
+        "messages_col": messages_col,
+        "messages_row": messages_row,
+        "messages_any": 0.0,
+        "total_messages": messages_col + messages_row,
+        "words_col": words_col,
+        "words_row": words_row,
+        "words_any": 0.0,
+        "total_words": words_col + words_row,
+    }
+
+
+def caps_message_counts(m: int, k: int, n: int, P: int) -> Dict[str, float]:
+    """Exact per-channel totals of one CAPS ``C += A B`` over ``P`` ranks.
+
+    Thin wrapper over :func:`repro.matmul.caps.caps_count_ledger`, which
+    replays the backend's own BFS/DFS schedule (shared move predicates, so
+    the ledger cannot drift from the runtime).  All CAPS traffic is
+    point-to-point or group-wide over the full rank set, hence on the
+    ``any`` channel.
+    """
+    return caps_count_ledger(m, k, n, P)
+
+
+def strassen_lower_bound_words(m: int, k: int, n: int, P: int) -> float:
+    """Per-processor bandwidth lower bound for Strassen-like algorithms.
+
+    ``Omega((m k n)^{2/3} / P^{2/omega_0})`` with ``omega_0 = log2 7``
+    (Ballard-Demmel-Holtz-Schwartz; the bound CAPS attains).  Returned
+    without the constant factor — a valid *floor* for any schedule's
+    words-per-processor, which the test suite asserts against the measured
+    CAPS traffic.
+    """
+    return float((float(m) * float(k) * float(n)) ** (2.0 / 3.0) / P ** (2.0 / OMEGA))
+
+
+def classical_lower_bound_words(m: int, k: int, n: int, P: int) -> float:
+    """Per-processor bandwidth lower bound for classical (non-Strassen) matmul.
+
+    ``Omega((m k n)^{2/3} / P^{2/3})`` (Irony-Toledo-Tiskin).  Strictly above
+    :func:`strassen_lower_bound_words` for ``P > 1`` — the asymptotic gap
+    CAPS exists to exploit.
+    """
+    return float((float(m) * float(k) * float(n)) ** (2.0 / 3.0) / P ** (2.0 / 3.0))

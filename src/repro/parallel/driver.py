@@ -32,7 +32,6 @@ from typing import Callable, List, Optional, Tuple, Union
 
 import numpy as np
 
-from ..distsim.collectives import broadcast
 from ..distsim.engine import ExecutionEngine
 from ..distsim.engine.base import spmd_program
 from ..distsim.tracing import RunTrace
@@ -40,9 +39,8 @@ from ..distsim.vmpi import Communicator, run_spmd
 from ..layouts.block_cyclic import BlockCyclic2D
 from ..layouts.grid import ProcessGrid
 from ..machines.model import MachineModel
-from ..scalapack.pdgemm import pdgemm_trailing_update
+from ..matmul import MatmulBackend, get_backend, resolve_matmul
 from ..scalapack.pdlaswp import apply_swaps_to_permutation, pdlaswp
-from ..scalapack.pdtrsm import pdtrsm_block_row
 
 #: Signature of a panel factorization callback.
 #:
@@ -83,8 +81,13 @@ def block_right_looking_rank(
     dist: BlockCyclic2D,
     Aloc: np.ndarray,
     panel_fn: PanelFactorizer,
+    backend: MatmulBackend,
 ):
     """SPMD body of the block right-looking factorization (one rank).
+
+    The panel broadcast and the trailing update (steps 2 and 4-6) are owned
+    by the distributed-matmul ``backend``; the default ``summa`` backend
+    reproduces the historical inlined steps bit-for-bit.
 
     Returns a dict with the rank's final local array and the swap list (the
     latter is identical on every rank).
@@ -128,14 +131,8 @@ def block_right_looking_rank(
             }
         else:
             payload = None
-        root_in_row = grid.rank(myrow, pcol_owner)
-        payload = yield from broadcast.co(
-            comm,
-            payload,
-            root=root_in_row,
-            group=row_group,
-            tag=("Lbcast", j0),
-            channel="row",
+        payload = yield from backend.share_panel(
+            comm, grid, myrow, pcol_owner, payload, j0
         )
         swaps = payload["swaps"]
         packed_rows = payload["rows"]  # global indices, ascending, >= j0
@@ -168,41 +165,12 @@ def block_right_looking_rank(
             L11 = packed_panel[diag_sel, :]
         L21_local = packed_panel[trail_sel, :]
 
-        # --------------------------------- 4. U12 block-row (grid row prow_owner)
-        trail_col_sel = my_gcols >= j0 + jb
-        trail_lcols = np.nonzero(trail_col_sel)[0]
-        u12_local = None
-        if myrow == prow_owner and trail_lcols.size:
-            diag_lrows = np.asarray(
-                [dist.global_to_local_row(g) for g in range(j0, j0 + jb)],
-                dtype=np.int64,
-            )
-            u12_local = pdtrsm_block_row(comm, L11, Aloc, diag_lrows, trail_lcols)
-
-        # ------------------------------------ 5. broadcast U12 down grid columns
-        col_bcast_group = grid.column_ranks(mycol)
-        root_in_col = grid.rank(prow_owner, mycol)
-        u12_local = yield from broadcast.co(
-            comm,
-            u12_local,
-            root=root_in_col,
-            group=col_bcast_group,
-            tag=("Ubcast", j0),
-            channel="col",
+        # ---------- 4-6. U12 solve + broadcast + trailing update (the backend)
+        trail_lcols = np.nonzero(my_gcols >= j0 + jb)[0]
+        trail_lrows = np.nonzero(my_grows >= j0 + jb)[0]
+        yield from backend.update_trailing(
+            comm, dist, Aloc, L11, L21_local, j0, jb, trail_lrows, trail_lcols
         )
-
-        # --------------------------------------------- 6. trailing matrix update
-        trail_row_sel = my_grows >= j0 + jb
-        trail_lrows = np.nonzero(trail_row_sel)[0]
-        if trail_lrows.size and trail_lcols.size and u12_local is not None:
-            pdgemm_trailing_update(
-                comm,
-                Aloc,
-                L21_local,
-                u12_local,
-                trail_lrows,
-                trail_lcols,
-            )
 
     return {"Aloc": Aloc, "swaps": all_swaps}
 
@@ -214,6 +182,7 @@ def run_block_lu(
     panel_factory: Callable[[], PanelFactorizer],
     machine: Optional[MachineModel] = None,
     engine: Union[None, str, ExecutionEngine] = None,
+    matmul: Optional[str] = None,
 ) -> DistributedLUResult:
     """Scatter ``A``, run the distributed factorization, gather the factors.
 
@@ -233,6 +202,9 @@ def run_block_lu(
     engine:
         Execution engine for the SPMD run ("threaded", "event", an engine
         instance, or ``None`` for the process-wide default).
+    matmul:
+        Distributed-matmul backend for the trailing update ("summa", "caps",
+        or ``None`` for the process-wide default).
 
     Returns
     -------
@@ -243,11 +215,12 @@ def run_block_lu(
     dist = BlockCyclic2D(m, n, block_size, grid)
     locals_in = dist.scatter(A)
     panel_fn = panel_factory()
+    backend = get_backend(resolve_matmul(matmul))
 
     def rank_fn(comm: Communicator):
         return (
             yield from block_right_looking_rank.co(
-                comm, dist, locals_in[comm.rank], panel_fn
+                comm, dist, locals_in[comm.rank], panel_fn, backend
             )
         )
 

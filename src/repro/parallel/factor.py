@@ -49,10 +49,10 @@ class FactoredMatrix:
     nprow, npcol:
         Process-grid shape the factorization ran on (the solve phase reuses
         the same grid so the factor blocks are already in place).
-    pivoting, kernel_tier, engine:
-        The resolved strategy/tier/engine that produced the factors — part
-        of the artifact's identity in the factor cache (two factorizations
-        differing in any of these are distinct artifacts).
+    pivoting, kernel_tier, engine, matmul:
+        The resolved strategy/tier/engine/matmul-backend that produced the
+        factors — part of the artifact's identity in the factor cache (two
+        factorizations differing in any of these are distinct artifacts).
     packed:
         Packed factors ``tril(L, -1) + U`` (unit diagonal of ``L`` implicit).
     permuted:
@@ -80,6 +80,7 @@ class FactoredMatrix:
     packed: np.ndarray
     permuted: np.ndarray
     perm: np.ndarray
+    matmul: str = "summa"
     key: Optional[str] = None
     source: Optional[DistributedLUResult] = None
 
@@ -101,6 +102,7 @@ def pcalu_factor(
     engine: Union[None, str, ExecutionEngine] = None,
     kernel_tier: Optional[str] = None,
     pivoting: Optional[str] = None,
+    matmul: Optional[str] = None,
 ) -> FactoredMatrix:
     """Factor ``A`` on the grid and package the result for reuse.
 
@@ -113,6 +115,7 @@ def pcalu_factor(
     from ..core.strategies import resolve_pivoting
     from ..harness.store import resolved_engine
     from ..kernels.tiers import resolve_tier
+    from ..matmul import resolve_matmul
 
     A = np.asarray(A, dtype=np.float64)
     if A.ndim != 2 or A.shape[0] != A.shape[1]:
@@ -126,6 +129,7 @@ def pcalu_factor(
         engine=engine,
         kernel_tier=kernel_tier,
         pivoting=pivoting,
+        matmul=matmul,
     )
     packed = np.tril(fact.L, -1) + fact.U
     engine_name = (
@@ -142,6 +146,7 @@ def pcalu_factor(
         packed=packed,
         permuted=A[fact.perm, :],
         perm=np.asarray(fact.perm, dtype=np.int64),
+        matmul=resolve_matmul(matmul),
         source=fact,
     )
 
@@ -153,6 +158,7 @@ def pdgetrf_factor(
     machine: Optional[MachineModel] = None,
     engine: Union[None, str, ExecutionEngine] = None,
     kernel_tier: Optional[str] = None,
+    matmul: Optional[str] = None,
 ) -> FactoredMatrix:
     """Partial-pivoting factorization artifact (bit-for-bit PDGETRF)."""
     return pcalu_factor(
@@ -163,4 +169,5 @@ def pdgetrf_factor(
         engine=engine,
         kernel_tier=kernel_tier,
         pivoting="pp",
+        matmul=matmul,
     )

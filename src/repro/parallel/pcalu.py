@@ -130,6 +130,7 @@ def pcalu(
     engine: Union[None, str, ExecutionEngine] = None,
     kernel_tier: Optional[str] = None,
     pivoting: Optional[str] = None,
+    matmul: Optional[str] = None,
 ) -> DistributedLUResult:
     """Distributed CALU of ``A`` over ``grid`` with block size ``block_size``.
 
@@ -139,7 +140,9 @@ def pcalu(
     :mod:`repro.kernels.tiers`); ``pivoting`` selects the panel pivoting
     strategy (``"ca"``, ``"ca_prrp"`` or ``"pp"`` — with ``"pp"`` the panel
     is ScaLAPACK's column-by-column PDGETF2 and the run is exactly
-    :func:`repro.scalapack.pdgetrf.pdgetrf`).  Returns the gathered factors,
+    :func:`repro.scalapack.pdgetrf.pdgetrf`); ``matmul`` selects the
+    distributed-matmul backend for the trailing update (``"summa"`` or
+    ``"caps"``, see :mod:`repro.matmul`).  Returns the gathered factors,
     the pivot sequence and the per-rank communication trace (see
     :class:`~repro.parallel.driver.DistributedLUResult`).
     """
@@ -162,4 +165,5 @@ def pcalu(
         panel_factory=panel_factory,
         machine=machine,
         engine=engine,
+        matmul=matmul,
     )

@@ -295,6 +295,7 @@ def pdgesv(
     engine: Union[None, str, ExecutionEngine] = None,
     kernel_tier: Optional[str] = None,
     pivoting: Optional[str] = None,
+    matmul: Optional[str] = None,
     refine: int = 2,
     tolerance: float = 1.0e-16,
 ) -> DistributedSolveResult:
@@ -312,10 +313,11 @@ def pdgesv(
         The process grid; both the factorization and the solve run on it.
     block_size:
         Block size ``b`` of the 2-D block-cyclic distribution.
-    local_kernel, kernel_tier, pivoting:
+    local_kernel, kernel_tier, pivoting, matmul:
         Passed to the factorization (:func:`repro.parallel.pcalu.pcalu`);
         ``pivoting="pp"`` makes the factorization exactly
-        :func:`repro.scalapack.pdgetrf.pdgetrf`.
+        :func:`repro.scalapack.pdgetrf.pdgetrf`; ``matmul`` selects the
+        distributed-matmul backend of the trailing update.
     machine, engine:
         Machine model and virtual-MPI execution engine for *both* phases.
     refine:
@@ -338,6 +340,7 @@ def pdgesv(
         engine=engine,
         kernel_tier=kernel_tier,
         pivoting=pivoting,
+        matmul=matmul,
     )
     return pdgesv_solve(
         factor,

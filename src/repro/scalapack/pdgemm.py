@@ -26,6 +26,7 @@ def pdgemm_trailing_update(
     U12_local: np.ndarray,
     local_row_indices: np.ndarray,
     local_col_indices: np.ndarray,
+    multiply=None,
 ) -> None:
     """Update this rank's trailing block: ``A22 -= L21_local @ U12_local``.
 
@@ -43,6 +44,11 @@ def pdgemm_trailing_update(
         (``b x len(local_col_indices)``).
     local_row_indices, local_col_indices:
         Local indices of the trailing rows/columns owned by this rank.
+    multiply:
+        Local product kernel ``multiply(A, B, flops=...) -> A @ B`` supplied
+        by the matmul backend (e.g. Strassen); ``None`` keeps the classical
+        in-place :func:`~repro.kernels.gemm.gemm_update`, bit-identical to
+        the historical path.
     """
     rows = np.asarray(local_row_indices, dtype=np.int64)
     cols = np.asarray(local_col_indices, dtype=np.int64)
@@ -54,10 +60,16 @@ def pdgemm_trailing_update(
         # small grids, and for the last panels on any grid): update the view
         # in place, skipping the gather + scatter round trip.
         block = Aloc[rows[0] : rows[-1] + 1, cols[0] : cols[-1] + 1]
-        gemm_update(block, L21_local, U12_local, flops=scratch)
+        if multiply is None:
+            gemm_update(block, L21_local, U12_local, flops=scratch)
+        else:
+            block -= multiply(L21_local, U12_local, flops=scratch)
     else:
         block = Aloc[np.ix_(rows, cols)]
-        gemm_update(block, L21_local, U12_local, flops=scratch)
+        if multiply is None:
+            gemm_update(block, L21_local, U12_local, flops=scratch)
+        else:
+            block -= multiply(L21_local, U12_local, flops=scratch)
         Aloc[np.ix_(rows, cols)] = block
     comm.charge_counter(scratch)
 

@@ -24,6 +24,7 @@ def pdgetrf(
     block_size: int,
     machine: Optional[MachineModel] = None,
     engine: Union[None, str, ExecutionEngine] = None,
+    matmul: Optional[str] = None,
 ):
     """Distributed LU with partial pivoting of ``A`` (ScaLAPACK-style baseline).
 
@@ -40,6 +41,9 @@ def pdgetrf(
     engine:
         Virtual-MPI execution engine ("threaded", "event", an engine
         instance, or ``None`` for the process-wide default).
+    matmul:
+        Distributed-matmul backend for the trailing update ("summa",
+        "caps", or ``None`` for the process-wide default).
 
     Returns
     -------
@@ -57,4 +61,5 @@ def pdgetrf(
         panel_factory=make_pdgetf2_panel,
         machine=machine,
         engine=engine,
+        matmul=matmul,
     )

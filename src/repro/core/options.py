@@ -1,22 +1,42 @@
-"""Shared ``unknown-option`` error for the registry-addressed knobs.
+"""The configuration subsystem: one precedence rule, one ``SolveConfig``.
 
 Every pluggable subsystem of this package — pivoting strategies
 (:mod:`repro.core.strategies`), kernel tiers (:mod:`repro.kernels.tiers`),
 virtual-MPI engines (:mod:`repro.distsim.engine`) and distributed-matmul
-backends (:mod:`repro.matmul`) — resolves a string knob against a registry.
-Historically each rolled its own error; this module gives them one uniformly
-named exception so callers can catch a single type and the messages follow a
-single shape::
+backends (:mod:`repro.matmul`) — exposes one string *knob* resolved against a
+registry.  Historically each rolled its own resolution stack (a module-global
+override, a ``set_*`` function, a context manager, an environment variable);
+this module centralises the machinery:
 
-    unknown <kind> <name!r>; available: [<registered>, ...]
+* :class:`UnknownOptionError` — the shared "knob value names no registered
+  option" error, raised with the offender and the available choices named.
+* :class:`Option` — one generic knob descriptor implementing the shared
+  precedence rule::
 
-The exception subclasses :class:`ValueError` so existing ``except ValueError``
-call sites (and tests matching the historical message prefixes) keep working.
+      explicit per-call argument  >  ambient context (set_*/context manager)
+        >  ``REPRO_*`` environment variable  >  default
+
+  The four knob modules *register* an :class:`Option` at import time and keep
+  their historical ``resolve_*`` / ``set_*`` / context-manager entry points
+  as thin delegations, so every existing call signature keeps working and
+  resolves bit-identically.
+* :class:`SolveConfig` — a frozen dataclass bundling everything that
+  configures a distributed solve (the four knobs plus grid shape, block size
+  ``b``, ``nrhs`` and a machine name).  One ``SolveConfig`` travels through
+  the drivers (:mod:`repro.parallel`), the content-addressed stores, the
+  serving layer and the CLI, and is the unit the autotuner
+  (:mod:`repro.harness.tuning`) searches over.
+
+Ambient state is process-wide (the knobs configure a simulation, not a
+thread), exactly as the historical per-module globals were.
 """
 
 from __future__ import annotations
 
-from typing import Iterable
+import os
+from contextlib import ExitStack, contextmanager
+from dataclasses import asdict, dataclass, field, replace
+from typing import Callable, Dict, Iterable, Iterator, List, Optional, Tuple
 
 
 class UnknownOptionError(ValueError):
@@ -38,3 +58,303 @@ class UnknownOptionError(ValueError):
         self.name = name
         self.available = list(available)
         super().__init__(f"unknown {kind} {name!r}; available: {self.available}")
+
+
+# ---------------------------------------------------------------------------
+# The generic knob descriptor.
+
+@dataclass
+class Option:
+    """One registry-addressed configuration knob.
+
+    Parameters
+    ----------
+    name:
+        Knob name — the :class:`SolveConfig` field it populates
+        (``"pivoting"``, ``"engine"``, ``"kernel_tier"``, ``"matmul"``).
+    kind:
+        Human-readable kind used in error messages.
+    env_var:
+        The ``REPRO_*`` environment variable consulted between the ambient
+        context and the default.
+    default:
+        Value used when no explicit argument, ambient override or environment
+        variable applies.
+    validate:
+        Callable mapping a raw value to its canonical registered name,
+        raising :class:`UnknownOptionError` (or a subclass) otherwise.  The
+        registering module supplies it, so registry lookups and error types
+        stay owned by the subsystem (e.g. the engine knob canonicalises
+        aliases and raises ``UnknownEngineError``).
+
+    An :class:`Option` carries the knob's *ambient* override — what the
+    historical per-module ``_process_*`` globals held — and implements the
+    shared precedence rule in :meth:`resolve`.
+    """
+
+    name: str
+    kind: str
+    env_var: str
+    default: str
+    validate: Callable[[str], str]
+    _ambient: Optional[str] = field(default=None, repr=False)
+
+    # ----------------------------------------------------------- precedence
+    def get(self) -> str:
+        """The knob's current value without an explicit argument.
+
+        Precedence: ambient context > environment variable (ignored when
+        empty, matching every historical stack) > default.  The default is
+        trusted (it names a registered option by construction); explicit and
+        environment values are validated.
+        """
+        if self._ambient is not None:
+            return self._ambient
+        env = os.environ.get(self.env_var)
+        if env:
+            return self.validate(env)
+        return self.default
+
+    def resolve(self, explicit: Optional[str] = None) -> str:
+        """Resolve a per-call argument: explicit > ambient > env > default."""
+        if explicit is not None:
+            return self.validate(explicit)
+        return self.get()
+
+    # -------------------------------------------------------- ambient state
+    def set(self, value: Optional[str]) -> None:
+        """Set (or with ``None`` clear) the ambient process-wide override."""
+        self._ambient = self.validate(value) if value is not None else None
+
+    @contextmanager
+    def context(self, value: Optional[str]) -> Iterator[None]:
+        """Scope an ambient override; nests and restores the previous value."""
+        previous = self._ambient
+        self.set(value)
+        try:
+            yield
+        finally:
+            self._ambient = previous
+
+
+#: The registered knobs, in the order they appear in keys and reports.
+OPTIONS: Dict[str, Option] = {}
+
+#: The knob names every :class:`SolveConfig` carries.
+KNOBS = ("pivoting", "engine", "kernel_tier", "matmul")
+
+
+def register_option(option: Option) -> Option:
+    """Register a knob (idempotent per name; last registration wins)."""
+    OPTIONS[option.name] = option
+    return option
+
+
+def get_option(name: str) -> Option:
+    """Look up a registered knob by name (loads the knob modules first)."""
+    _load_knob_modules()
+    try:
+        return OPTIONS[name]
+    except KeyError:
+        raise UnknownOptionError(
+            "configuration knob", name, sorted(OPTIONS)
+        ) from None
+
+
+def _load_knob_modules() -> None:
+    """Import the four knob modules so their options are registered.
+
+    Lazy so that :mod:`repro.core.options` itself stays import-light (the
+    knob modules import it, not the other way around).
+    """
+    import repro.core.strategies  # noqa: F401
+    import repro.distsim.engine  # noqa: F401
+    import repro.kernels.tiers  # noqa: F401
+    import repro.matmul  # noqa: F401
+
+
+@contextmanager
+def option_overrides(**values: Optional[str]) -> Iterator[None]:
+    """Scope ambient overrides for several knobs at once (``None`` skipped).
+
+    This is what the CLI uses to apply ``--engine`` / ``--tier`` /
+    ``--pivoting`` / ``--matmul`` for the duration of one command instead of
+    mutating ``os.environ`` process-wide.
+    """
+    with ExitStack() as stack:
+        for name, value in values.items():
+            if value is not None:
+                stack.enter_context(get_option(name).context(value))
+        yield
+
+
+# ---------------------------------------------------------------------------
+# The first-class configuration object.
+
+@dataclass(frozen=True)
+class SolveConfig:
+    """Everything that configures one distributed factorization/solve.
+
+    The four registry knobs (``pivoting``, ``engine``, ``kernel_tier``,
+    ``matmul``) are always concrete resolved names; the layout parameters
+    (``grid``, ``b``, ``nrhs``) and the ``machine`` name are optional —
+    drivers fall back to their own arguments when a field is ``None``.
+
+    Build one with :meth:`resolve` (fills unset knobs through the shared
+    precedence rule) rather than the raw constructor, and derive variations
+    with :meth:`replace`.  The dataclass is frozen so a config can key caches
+    and travel through threads safely.
+    """
+
+    pivoting: str
+    engine: str
+    kernel_tier: str
+    matmul: str
+    grid: Optional[Tuple[int, int]] = None
+    b: Optional[int] = None
+    nrhs: Optional[int] = None
+    machine: Optional[str] = None
+
+    # ------------------------------------------------------------- creation
+    @classmethod
+    def resolve(
+        cls,
+        pivoting: Optional[str] = None,
+        engine: object = None,
+        kernel_tier: Optional[str] = None,
+        matmul: Optional[str] = None,
+        grid: object = None,
+        b: Optional[int] = None,
+        nrhs: Optional[int] = None,
+        machine: Optional[str] = None,
+    ) -> "SolveConfig":
+        """Build a config, resolving each knob per the shared precedence rule.
+
+        ``engine`` accepts a name, an
+        :class:`~repro.distsim.engine.ExecutionEngine` instance (its ``name``
+        is recorded) or ``None``; ``grid`` accepts a ``(Pr, Pc)`` tuple, a
+        :class:`~repro.layouts.grid.ProcessGrid`, a process count ``P``
+        (mapped to the paper's near-square grid) or ``None``.
+        """
+        _load_knob_modules()
+        if engine is not None and not isinstance(engine, str):
+            engine = getattr(engine, "name", None)
+        return cls(
+            pivoting=OPTIONS["pivoting"].resolve(pivoting),
+            engine=OPTIONS["engine"].resolve(engine),
+            kernel_tier=OPTIONS["kernel_tier"].resolve(kernel_tier),
+            matmul=OPTIONS["matmul"].resolve(matmul),
+            grid=normalize_grid(grid),
+            b=int(b) if b is not None else None,
+            nrhs=int(nrhs) if nrhs is not None else None,
+            machine=machine,
+        )
+
+    def replace(self, **changes: object) -> "SolveConfig":
+        """A copy with the given fields replaced (knob values validated)."""
+        _load_knob_modules()
+        for knob in KNOBS:
+            if knob in changes and changes[knob] is not None:
+                changes[knob] = OPTIONS[knob].validate(str(changes[knob]))
+        if "grid" in changes:
+            changes["grid"] = normalize_grid(changes["grid"])
+        return replace(self, **changes)
+
+    # ------------------------------------------------------------ accessors
+    @property
+    def nprow(self) -> Optional[int]:
+        return None if self.grid is None else self.grid[0]
+
+    @property
+    def npcol(self) -> Optional[int]:
+        return None if self.grid is None else self.grid[1]
+
+    @property
+    def P(self) -> Optional[int]:
+        """Total process count, when the grid shape is set."""
+        return None if self.grid is None else self.grid[0] * self.grid[1]
+
+    def process_grid(self):
+        """The :class:`~repro.layouts.grid.ProcessGrid` (``None`` if unset)."""
+        if self.grid is None:
+            return None
+        from ..layouts.grid import ProcessGrid
+
+        return ProcessGrid(*self.grid)
+
+    def machine_model(self):
+        """The named :class:`~repro.machines.model.MachineModel` (or ``None``).
+
+        ``machine`` names one of the paper's calibrated systems
+        (:data:`repro.machines.nersc.MACHINES`); unknown names raise
+        :class:`UnknownOptionError`.
+        """
+        if self.machine is None:
+            return None
+        from ..machines.nersc import MACHINES
+
+        try:
+            return MACHINES[self.machine]()
+        except KeyError:
+            raise UnknownOptionError(
+                "machine", self.machine, sorted(MACHINES)
+            ) from None
+
+    def as_dict(self) -> Dict[str, object]:
+        """Plain-dict view (JSON-serializable; tuples become lists)."""
+        out = asdict(self)
+        if out["grid"] is not None:
+            out["grid"] = list(out["grid"])
+        return out
+
+    def describe(self) -> str:
+        """One-line ``key=value`` rendering for status lines and logs."""
+        parts = [
+            f"pivoting={self.pivoting}",
+            f"engine={self.engine}",
+            f"kernel_tier={self.kernel_tier}",
+            f"matmul={self.matmul}",
+        ]
+        if self.grid is not None:
+            parts.append(f"grid={self.grid[0]}x{self.grid[1]}")
+        if self.b is not None:
+            parts.append(f"b={self.b}")
+        if self.nrhs is not None:
+            parts.append(f"nrhs={self.nrhs}")
+        if self.machine is not None:
+            parts.append(f"machine={self.machine}")
+        return " ".join(parts)
+
+    # -------------------------------------------------------------- ambient
+    @contextmanager
+    def ambient(self) -> Iterator["SolveConfig"]:
+        """Apply this config's four knobs as the ambient context, scoped."""
+        with option_overrides(
+            pivoting=self.pivoting,
+            engine=self.engine,
+            kernel_tier=self.kernel_tier,
+            matmul=self.matmul,
+        ):
+            yield self
+
+
+def normalize_grid(grid: object) -> Optional[Tuple[int, int]]:
+    """Normalize a grid argument to a ``(Pr, Pc)`` tuple (or ``None``).
+
+    Accepts ``None``, a ``(Pr, Pc)`` tuple/list, a
+    :class:`~repro.layouts.grid.ProcessGrid`, or a process count ``P``
+    (mapped to the paper's near-square grid via
+    :meth:`~repro.layouts.grid.ProcessGrid.default_for`).
+    """
+    if grid is None:
+        return None
+    if isinstance(grid, int):
+        from ..layouts.grid import ProcessGrid
+
+        g = ProcessGrid.default_for(grid)
+        return (g.nprow, g.npcol)
+    nprow = getattr(grid, "nprow", None)
+    if nprow is not None:
+        return (int(nprow), int(grid.npcol))
+    pr, pc = grid  # type: ignore[misc]
+    return (int(pr), int(pc))

@@ -37,12 +37,11 @@ Selection, in order of precedence (mirroring the tier/engine knobs):
 
 from __future__ import annotations
 
-import os
 from contextlib import contextmanager
 from dataclasses import dataclass
 from typing import Dict, Iterator, List, Optional
 
-from .options import UnknownOptionError
+from .options import Option, UnknownOptionError, register_option
 
 
 @dataclass(frozen=True)
@@ -112,13 +111,25 @@ DEFAULT_STRATEGY = "ca"
 #: ``REPRO_KERNEL_TIER`` / ``REPRO_VMPI_ENGINE`` / ``REPRO_RESULTS_DIR``).
 ENV_VAR = "REPRO_PIVOTING"
 
-_process_strategy: Optional[str] = None
-
 
 def _validate(name: str) -> str:
     if name not in STRATEGIES:
         raise UnknownOptionError("pivoting strategy", name, available_strategies())
     return name
+
+
+#: The pivoting knob, registered into the shared configuration subsystem
+#: (:mod:`repro.core.options`): the functions below are thin delegations to
+#: its precedence machinery (explicit > ambient > ``REPRO_PIVOTING`` > "ca").
+OPTION = register_option(
+    Option(
+        name="pivoting",
+        kind="pivoting strategy",
+        env_var=ENV_VAR,
+        default=DEFAULT_STRATEGY,
+        validate=_validate,
+    )
+)
 
 
 def available_strategies() -> List[str]:
@@ -133,32 +144,21 @@ def get_strategy(name: str) -> PivotingStrategy:
 
 def get_pivoting() -> str:
     """The process-wide strategy (override > ``REPRO_PIVOTING`` > ``"ca"``)."""
-    if _process_strategy is not None:
-        return _process_strategy
-    env = os.environ.get(ENV_VAR)
-    if env:
-        return _validate(env)
-    return DEFAULT_STRATEGY
+    return OPTION.get()
 
 
 def set_pivoting(name: Optional[str]) -> None:
     """Set (or with ``None`` clear) the process-wide strategy override."""
-    global _process_strategy
-    _process_strategy = _validate(name) if name is not None else None
+    OPTION.set(name)
 
 
 @contextmanager
 def pivoting(name: str) -> Iterator[None]:
     """Context manager scoping a process-wide strategy override."""
-    global _process_strategy
-    previous = _process_strategy
-    set_pivoting(name)
-    try:
+    with OPTION.context(name):
         yield
-    finally:
-        _process_strategy = previous
 
 
 def resolve_pivoting(name: Optional[str] = None) -> str:
     """Resolve a per-call ``pivoting=`` argument to a validated strategy name."""
-    return _validate(name) if name is not None else get_pivoting()
+    return OPTION.resolve(name)

@@ -19,15 +19,19 @@ host; the simulated cost model is engine-independent.  Three backends ship:
     back to the event engine's machinery transparently.
 
 Select an engine per call (``run_spmd(..., engine="coroutine")``),
-process-wide via the ``REPRO_VMPI_ENGINE`` environment variable, or register
-a custom one with :func:`register_engine`.
+ambiently via :func:`set_engine` / the :func:`engine_context` context
+manager, process-wide via the ``REPRO_VMPI_ENGINE`` environment variable, or
+register a custom one with :func:`register_engine`.  The knob is registered
+into the shared configuration subsystem (:mod:`repro.core.options`), so it
+follows the same precedence rule as ``pivoting``/``kernel_tier``/``matmul``.
 """
 
 from __future__ import annotations
 
-import os
-from typing import Callable, Dict, Optional, Union
+from contextlib import contextmanager
+from typing import Callable, Dict, Iterator, Optional, Union
 
+from ...core.options import Option, register_option
 from ..errors import UnknownEngineError
 from .base import (
     DEFAULT_TIMEOUT,
@@ -50,6 +54,9 @@ from .threaded import ThreadedCommunicator, ThreadedEngine
 
 #: Engine used when neither ``engine=`` nor ``REPRO_VMPI_ENGINE`` is given.
 DEFAULT_ENGINE = "threaded"
+
+#: Environment variable consulted between the ambient context and the default.
+ENV_VAR = "REPRO_VMPI_ENGINE"
 
 _REGISTRY: Dict[str, Callable[[], ExecutionEngine]] = {
     ThreadedEngine.name: ThreadedEngine,
@@ -90,25 +97,86 @@ def get_engine(name: str) -> ExecutionEngine:
     return factory()
 
 
+def _validate(name: str) -> str:
+    """Canonicalise an engine name (aliases resolved) or raise.
+
+    Exact registry entries win over aliases, mirroring :func:`get_engine`, so
+    the validated name always instantiates the same engine the raw name
+    would.  Raises :class:`~repro.distsim.errors.UnknownEngineError` (an
+    ``UnknownOptionError`` subclass) for unregistered names.
+    """
+    if name in _REGISTRY:
+        return name
+    canonical = _ALIASES.get(name)
+    if canonical is not None and canonical in _REGISTRY:
+        return canonical
+    raise UnknownEngineError(name, available_engines())
+
+
+#: The engine knob, registered into the shared configuration subsystem
+#: (:mod:`repro.core.options`): precedence is explicit > ambient >
+#: ``REPRO_VMPI_ENGINE`` > "threaded", with aliases canonicalised so store
+#: keying and execution can never disagree on the resolved engine.
+OPTION = register_option(
+    Option(
+        name="engine",
+        kind="execution engine",
+        env_var=ENV_VAR,
+        default=DEFAULT_ENGINE,
+        validate=_validate,
+    )
+)
+
+
+def get_engine_name() -> str:
+    """The ambient engine name (ambient > ``REPRO_VMPI_ENGINE`` > default)."""
+    return OPTION.get()
+
+
+def set_engine(name: Optional[str]) -> None:
+    """Set (or with ``None`` clear) the ambient process-wide engine override."""
+    OPTION.set(name)
+
+
+@contextmanager
+def engine_context(name: str) -> Iterator[None]:
+    """Context manager scoping an ambient engine override."""
+    with OPTION.context(name):
+        yield
+
+
+def resolve_engine_name(
+    engine: Union[None, str, ExecutionEngine] = None
+) -> str:
+    """Resolve an ``engine=`` argument to its canonical registered *name*.
+
+    Instances report their ``name``; strings are canonicalised (aliases
+    resolved) and validated; ``None`` follows the shared precedence rule.
+    This is what keying code (the result store, the factor cache) uses, so
+    the recorded name always matches the engine that would execute.
+    """
+    if isinstance(engine, ExecutionEngine):
+        return engine.name
+    if engine is None or isinstance(engine, str):
+        return OPTION.resolve(engine)
+    raise TypeError(
+        f"engine must be None, a registered name, or an ExecutionEngine; "
+        f"got {type(engine).__name__}"
+    )
+
+
 def resolve_engine(
     engine: Union[None, str, ExecutionEngine] = None
 ) -> ExecutionEngine:
     """Resolve an ``engine=`` argument to an :class:`ExecutionEngine` instance.
 
-    ``None`` falls back to the ``REPRO_VMPI_ENGINE`` environment variable and
-    then to :data:`DEFAULT_ENGINE`; strings are looked up in the registry;
-    instances pass through.
+    ``None`` follows the shared precedence rule (ambient context >
+    ``REPRO_VMPI_ENGINE`` > :data:`DEFAULT_ENGINE`); strings are looked up in
+    the registry; instances pass through.
     """
-    if engine is None:
-        engine = os.environ.get("REPRO_VMPI_ENGINE") or DEFAULT_ENGINE
     if isinstance(engine, ExecutionEngine):
         return engine
-    if isinstance(engine, str):
-        return get_engine(engine)
-    raise TypeError(
-        f"engine must be None, a registered name, or an ExecutionEngine; "
-        f"got {type(engine).__name__}"
-    )
+    return get_engine(resolve_engine_name(engine))
 
 
 __all__ = [
@@ -126,6 +194,7 @@ __all__ = [
     "CoroutineEngine",
     "DEFAULT_ENGINE",
     "DEFAULT_TIMEOUT",
+    "ENV_VAR",
     "call_rank_program",
     "coroutine_entry",
     "default_timeout",
@@ -134,6 +203,10 @@ __all__ = [
     "spmd_program",
     "available_engines",
     "register_engine",
+    "engine_context",
     "get_engine",
+    "get_engine_name",
     "resolve_engine",
+    "resolve_engine_name",
+    "set_engine",
 ]

@@ -12,10 +12,16 @@ Subcommands
     Expand a parameter grid and run the combinations concurrently.
 ``repro report [SPEC ...]``
     Render cached artifacts without re-running anything.
+``repro tune``
+    Search the :class:`~repro.core.options.SolveConfig` space for one
+    workload: rank candidates by the analytic models' predicted time,
+    simulate the best few to confirm, store the winner (and the
+    predicted-vs-simulated gap) as a content-addressed tune artifact.
 ``repro serve``
     Start a :class:`~repro.harness.serving.SolveService` on a (cached)
     factorization, fire concurrent solve requests at it, and report
-    per-request latency/residuals plus throughput.
+    per-request latency/residuals plus throughput.  ``--tuned`` loads a
+    stored tune artifact's winning configuration as the defaults.
 ``repro bench-serve``
     Measure serving throughput (requests/sec, p50/p95 latency) across
     batching windows against the one-``pdgesv``-per-request baseline.
@@ -33,10 +39,11 @@ from __future__ import annotations
 
 import argparse
 import ast
-import os
 import sys
-from typing import Dict, List, Optional, Sequence
+from contextlib import contextmanager
+from typing import Dict, Iterator, List, Optional, Sequence
 
+from ..core.options import SolveConfig, UnknownOptionError, option_overrides
 from ..experiments.report import format_table, rows_to_csv, rows_to_json
 from .spec import ExperimentSpec, all_specs, get_spec
 from .store import FetchResult, ResultStore
@@ -75,28 +82,50 @@ def _parse_grid(items: Optional[Sequence[str]]) -> Dict[str, List[object]]:
     return grid
 
 
-def _apply_context(args: argparse.Namespace) -> None:
-    """Apply --engine / --tier / --pivoting / --matmul process-wide."""
-    if getattr(args, "engine", None):
-        os.environ["REPRO_VMPI_ENGINE"] = args.engine
-    if getattr(args, "tier", None):
-        from ..kernels.tiers import set_kernel_tier
+@contextmanager
+def ambient_config(args: argparse.Namespace) -> Iterator[None]:
+    """Scope --engine / --tier / --pivoting / --matmul as ambient overrides.
 
-        set_kernel_tier(args.tier)
-    if getattr(args, "pivoting", None):
-        from ..core.strategies import set_pivoting
+    The flags used to be threaded by mutating ``os.environ`` (engine) and
+    the per-module ``set_*`` globals process-wide; routing them through the
+    shared ambient context (:func:`repro.core.options.option_overrides`)
+    keeps one command's knobs from leaking into the process environment —
+    and restores everything when the command finishes.
+    """
+    try:
+        with option_overrides(
+            engine=getattr(args, "engine", None),
+            kernel_tier=getattr(args, "tier", None),
+            pivoting=getattr(args, "pivoting", None),
+            matmul=getattr(args, "matmul", None),
+        ):
+            yield
+    except UnknownOptionError as exc:
+        raise SystemExit(f"error: {exc}") from None
 
-        try:
-            set_pivoting(args.pivoting)
-        except ValueError as exc:
-            raise SystemExit(f"error: {exc}")
-    if getattr(args, "matmul", None):
-        from ..matmul import set_matmul
 
-        try:
-            set_matmul(args.matmul)
-        except ValueError as exc:
-            raise SystemExit(f"error: {exc}")
+def config_from_args(args: argparse.Namespace) -> SolveConfig:
+    """Build the fully resolved :class:`SolveConfig` one command runs under.
+
+    Reads whatever configuration flags the verb defines (``--engine`` /
+    ``--tier`` / ``--pivoting`` / ``--matmul`` from :func:`add_config_args`,
+    plus ``--P`` / ``--b`` / ``--requests`` / ``--machine`` where present);
+    unset knobs resolve through the shared precedence rule.  Invalid values
+    exit with the offender named.
+    """
+    try:
+        return SolveConfig.resolve(
+            pivoting=getattr(args, "pivoting", None),
+            engine=getattr(args, "engine", None),
+            kernel_tier=getattr(args, "tier", None),
+            matmul=getattr(args, "matmul", None),
+            grid=getattr(args, "P", None),
+            b=getattr(args, "b", None),
+            nrhs=getattr(args, "requests", None),
+            machine=getattr(args, "machine", None),
+        )
+    except UnknownOptionError as exc:
+        raise SystemExit(f"error: {exc}") from None
 
 
 def _with_engine(
@@ -178,7 +207,6 @@ def cmd_list(args: argparse.Namespace) -> int:
 
 
 def cmd_run(args: argparse.Namespace) -> int:
-    _apply_context(args)
     store = _store(args)
     overrides = _parse_set(args.set)
     failures = 0
@@ -208,7 +236,6 @@ def cmd_run(args: argparse.Namespace) -> int:
 
 
 def cmd_sweep(args: argparse.Namespace) -> int:
-    _apply_context(args)
     store = _store(args)
     spec = get_spec(args.spec)
     grid = _parse_grid(args.param)
@@ -292,23 +319,107 @@ def _request_rhs(factor, kind: str, seed: int, count: int) -> List[object]:
     return [A @ rng.standard_normal(factor.n) for _ in range(count)]
 
 
+def _serving_config(args: argparse.Namespace) -> SolveConfig:
+    """Resolve a serving verb's configuration, honoring ``--tuned``.
+
+    Precedence per field: explicit flag > tuned artifact (when ``--tuned``
+    is given) > ambient context / ``REPRO_*`` env > built-in default
+    (``P=4``, ``b=16``).
+    """
+    tuned: Optional[SolveConfig] = None
+    ref = getattr(args, "tuned", None)
+    if ref:
+        from .tuning import load_tuned_config
+
+        try:
+            tuned = load_tuned_config(ref, store=_store(args))
+        except ValueError as exc:
+            raise SystemExit(f"error: {exc}") from None
+        print(
+            f"tuned defaults: b={tuned.b} grid={tuned.nprow}x{tuned.npcol} "
+            f"pivoting={tuned.pivoting} tier={tuned.kernel_tier} "
+            f"matmul={tuned.matmul} (from {ref})",
+            file=sys.stderr,
+        )
+    try:
+        return SolveConfig.resolve(
+            pivoting=getattr(args, "pivoting", None)
+            or (tuned.pivoting if tuned else None),
+            engine=getattr(args, "engine", None),
+            kernel_tier=getattr(args, "tier", None)
+            or (tuned.kernel_tier if tuned else None),
+            matmul=getattr(args, "matmul", None)
+            or (tuned.matmul if tuned else None),
+            grid=args.P if args.P is not None else (tuned.grid if tuned else 4),
+            b=args.b if args.b is not None else (tuned.b if tuned else 16),
+            nrhs=getattr(args, "requests", None),
+            machine=getattr(args, "machine", None),
+        )
+    except UnknownOptionError as exc:
+        raise SystemExit(f"error: {exc}") from None
+
+
+def cmd_tune(args: argparse.Namespace) -> int:
+    store = _store(args)
+    spec = get_spec("tune")
+    overrides = _parse_set(args.set)
+    for name in ("kind", "n", "nrhs", "P", "machine", "seed", "top_k",
+                 "refine", "workload"):
+        value = getattr(args, name, None)
+        if value is not None and name not in overrides:
+            overrides[name] = value
+    overrides = _with_engine(spec, overrides, args)
+    try:
+        fetch = store.fetch_or_run(
+            spec,
+            overrides or None,
+            quick=args.quick,
+            force=args.force,
+            use_cache=not args.no_cache,
+        )
+    except Exception as exc:
+        print(f"tune: FAILED ({exc})", file=sys.stderr)
+        return 1
+    print(_status_line(fetch, spec), file=sys.stderr)
+    winner = next((r for r in fetch.rows if r.get("chosen")), None)
+    if winner is None:
+        print("tune: artifact has no chosen row", file=sys.stderr)
+        return 1
+    print(
+        f"tune winner: b={winner['b']} grid={winner['grid']} "
+        f"pivoting={winner['pivoting']} tier={winner['kernel_tier']} "
+        f"matmul={winner['matmul']} predicted={winner['predicted_s']:.4g}s "
+        f"simulated={winner['simulated_s']:.4g}s gap={winner['gap']:.1%} "
+        f"({winner['enumerated']} candidates enumerated)",
+        file=sys.stderr,
+    )
+    print(
+        f"tune artifact: {fetch.path} (key={fetch.artifact['key'][:12]})",
+        file=sys.stderr,
+    )
+    _emit(
+        fetch.rows,
+        args,
+        columns=spec.columns,
+        metadata=_artifact_metadata(fetch.artifact),
+        title=spec.title,
+    )
+    return 0
+
+
 def cmd_serve(args: argparse.Namespace) -> int:
     import time
 
     from .factor_cache import FactorCache
     from .serving import SolveService
 
-    _apply_context(args)
+    config = _serving_config(args)
     cache = FactorCache(root=args.factor_cache_dir)
     fetch = cache.fetch_or_factor(
         kind=args.kind,
         n=args.n,
         seed=args.seed,
-        grid=args.P,
-        block_size=args.b,
-        pivoting=getattr(args, "pivoting", None),
-        engine=getattr(args, "engine", None),
-        matmul=getattr(args, "matmul", None),
+        config=config,
         use_cache=not args.no_cache,
         force=args.force,
     )
@@ -328,9 +439,9 @@ def cmd_serve(args: argparse.Namespace) -> int:
         factor,
         window=args.window,
         linger_s=args.linger,
-        engine=getattr(args, "engine", None),
         refine=args.refine,
         default_slo=args.slo,
+        config=config,
     ) as service:
         outcomes = _serve_requests(service, rhs_list, slo=args.slo)
     elapsed = time.perf_counter() - start
@@ -388,18 +499,14 @@ def cmd_bench_serve(args: argparse.Namespace) -> int:
     from .factor_cache import FactorCache, generate_matrix
     from .serving import SolveService
 
-    _apply_context(args)
+    config = _serving_config(args)
     windows = [int(w) for w in str(args.windows).split(",")]
     cache = FactorCache(root=args.factor_cache_dir)
     fetch = cache.fetch_or_factor(
         kind=args.kind,
         n=args.n,
         seed=args.seed,
-        grid=args.P,
-        block_size=args.b,
-        pivoting=getattr(args, "pivoting", None),
-        engine=getattr(args, "engine", None),
-        matmul=getattr(args, "matmul", None),
+        config=config,
         use_cache=not args.no_cache,
         force=args.force,
     )
@@ -444,8 +551,8 @@ def cmd_bench_serve(args: argparse.Namespace) -> int:
             factor,
             window=window,
             linger_s=args.linger,
-            engine=getattr(args, "engine", None),
             default_slo=args.slo,
+            config=config,
         ) as service:
             outcomes = _serve_requests(service, rhs_list, slo=args.slo)
         elapsed = time.perf_counter() - start
@@ -610,6 +717,24 @@ def cmd_report(args: argparse.Namespace) -> int:
 
 
 # --------------------------------------------------------------------- parser
+def add_config_args(p: argparse.ArgumentParser) -> None:
+    """Add the shared :class:`SolveConfig` knob flags to one verb's parser.
+
+    Every verb that runs anything gets the same four flags from this one
+    definition; :func:`config_from_args` is the matching reader.  The flag
+    values become scoped ambient overrides (see :func:`ambient_config`) —
+    they never touch ``os.environ``.
+    """
+    p.add_argument("--engine", default=None,
+                   help="virtual-MPI engine (coroutine|event|threaded)")
+    p.add_argument("--tier", default=None,
+                   help="kernel tier (auto|reference|lapack)")
+    p.add_argument("--pivoting", default=None,
+                   help="pivoting strategy (pp|ca|ca_prrp)")
+    p.add_argument("--matmul", default=None,
+                   help="distributed matmul backend (summa|caps)")
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -623,14 +748,7 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument("--results-dir", default=None,
                        help="artifact store root (default: $REPRO_RESULTS_DIR or results/)")
         if cache:
-            p.add_argument("--engine", default=None,
-                           help="virtual-MPI engine (coroutine|event|threaded)")
-            p.add_argument("--tier", default=None,
-                           help="kernel tier (auto|reference|lapack)")
-            p.add_argument("--pivoting", default=None,
-                           help="pivoting strategy (pp|ca|ca_prrp)")
-            p.add_argument("--matmul", default=None,
-                           help="distributed matmul backend (summa|caps)")
+            add_config_args(p)
             p.add_argument("--quick", action="store_true",
                            help="scaled-down sizes for smoke runs")
             p.add_argument("--force", action="store_true",
@@ -668,9 +786,14 @@ def build_parser() -> argparse.ArgumentParser:
                        help="matrix family (randn|uniform|toeplitz|diagonally_dominant)")
         p.add_argument("--n", type=int, default=96, help="matrix dimension")
         p.add_argument("--seed", type=int, default=0, help="matrix seed")
-        p.add_argument("--P", type=int, default=4,
-                       help="process count (near-square grid)")
-        p.add_argument("--b", type=int, default=16, help="block size")
+        p.add_argument("--P", type=int, default=None,
+                       help="process count (near-square grid; default: 4)")
+        p.add_argument("--b", type=int, default=None,
+                       help="block size (default: 16)")
+        p.add_argument("--tuned", nargs="?", const="latest", default=None,
+                       metavar="PATH|KEY",
+                       help="load defaults from a `repro tune` artifact "
+                            "(path, key prefix, or 'latest' when bare)")
         p.add_argument("--requests", type=int, default=16,
                        help="number of solve requests to fire")
         p.add_argument("--slo", type=float, default=None,
@@ -680,6 +803,33 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument("--factor-cache-dir", default=None,
                        help="factor cache root (default: $REPRO_FACTOR_CACHE_DIR "
                             "or factors/)")
+
+    p_tune = sub.add_parser(
+        "tune",
+        help="search the SolveConfig space by model prediction + simulation",
+    )
+    p_tune.add_argument("--kind", default=None,
+                        help="matrix family (default: randn)")
+    p_tune.add_argument("--n", type=int, default=None,
+                        help="matrix dimension (default: 96)")
+    p_tune.add_argument("--nrhs", type=int, default=None,
+                        help="right-hand sides (default: 2)")
+    p_tune.add_argument("--P", type=int, default=None,
+                        help="process count (default: 4)")
+    p_tune.add_argument("--machine", default=None,
+                        help="machine model (ibm_power5|cray_xt4; "
+                             "default: ibm_power5)")
+    p_tune.add_argument("--seed", type=int, default=None,
+                        help="matrix seed (default: 0)")
+    p_tune.add_argument("--top-k", dest="top_k", type=int, default=None,
+                        help="best-predicted candidates to simulate "
+                             "(default: 3)")
+    p_tune.add_argument("--refine", type=int, default=None,
+                        help="refinement budget (default: 2)")
+    p_tune.add_argument("--workload", choices=("solve", "matmul"), default=None,
+                        help="workload to tune for (default: solve)")
+    add_common(p_tune)
+    p_tune.set_defaults(fn=cmd_tune)
 
     p_serve = sub.add_parser(
         "serve", help="serve concurrent solves from a cached factorization"
@@ -720,7 +870,8 @@ def build_parser() -> argparse.ArgumentParser:
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
     args = build_parser().parse_args(argv)
-    return args.fn(args)
+    with ambient_config(args):
+        return args.fn(args)
 
 
 if __name__ == "__main__":  # pragma: no cover - exercised via python -m repro

@@ -217,7 +217,7 @@ class FactorCache:
         n: int = 96,
         seed: int = 0,
         grid: Union[None, int, ProcessGrid] = None,
-        block_size: int = 16,
+        block_size: Optional[int] = None,
         pivoting: Optional[str] = None,
         kernel_tier: Optional[str] = None,
         engine: Optional[str] = None,
@@ -226,6 +226,7 @@ class FactorCache:
         local_kernel: str = "getf2",
         use_cache: bool = True,
         force: bool = False,
+        config=None,
     ) -> FactorFetch:
         """Serve a factorization from the cache, or compute and store it.
 
@@ -233,11 +234,26 @@ class FactorCache:
         the paper's near-square grid via :meth:`ProcessGrid.default_for`),
         or ``None`` for ``P = 4``.  Single-flight per key: two concurrent
         calls with the same key factor once.
+
+        ``config`` is an optional :class:`~repro.core.options.SolveConfig`
+        supplying defaults for the unset run-configuration arguments (grid,
+        block size, machine and the four knobs); explicit arguments win, and
+        the content key is computed from the merged, fully resolved values —
+        identical to the key the spelled-out call would produce.
         """
         from ..core.strategies import resolve_pivoting
         from ..kernels.tiers import resolve_tier
         from ..matmul import resolve_matmul
+        from ..parallel.pcalu import _merge_config
 
+        grid, block_size, machine, engine, kernel_tier, pivoting, matmul = (
+            _merge_config(
+                config, grid, block_size, machine, engine, kernel_tier,
+                pivoting, matmul,
+            )
+        )
+        if block_size is None:
+            block_size = 16
         if grid is None:
             grid = ProcessGrid.default_for(4)
         elif isinstance(grid, int):

@@ -44,6 +44,7 @@ from typing import List, Optional, Union
 
 import numpy as np
 
+from ..core.options import SolveConfig
 from ..distsim.engine import ExecutionEngine
 from ..machines.model import MachineModel
 from ..parallel.factor import FactoredMatrix
@@ -147,6 +148,15 @@ class SolveService:
         Start the dispatcher thread immediately.  With ``start=False`` the
         service is driven synchronously via :meth:`drain` (deterministic
         batching for tests: exactly ``ceil(pending / window)`` batches).
+    config:
+        Optional :class:`~repro.core.options.SolveConfig` supplying the
+        sweep ``machine``/``engine`` defaults when the explicit arguments
+        are unset — e.g. a tuned config loaded by ``repro serve --tuned``.
+    tuned:
+        Load ``config`` from a stored ``repro tune`` artifact instead of
+        passing one: an artifact path, a context-key prefix, or
+        ``"latest"`` (see :func:`repro.harness.tuning.load_tuned_config`).
+        Ignored when an explicit ``config`` is given.
     """
 
     def __init__(
@@ -160,9 +170,20 @@ class SolveService:
         tolerance: float = 1.0e-16,
         default_slo: Optional[float] = None,
         start: bool = True,
+        config: Optional[SolveConfig] = None,
+        tuned: Optional[str] = None,
     ):
         if window < 1:
             raise ValueError("window must be >= 1")
+        if config is None and tuned is not None:
+            from .tuning import load_tuned_config
+
+            config = load_tuned_config(tuned)
+        if config is not None:
+            if machine is None:
+                machine = config.machine_model()
+            if engine is None:
+                engine = config.engine
         self.factor = factor
         self.window = int(window)
         self.linger_s = float(linger_s)

@@ -138,7 +138,7 @@ def register(spec: ExperimentSpec) -> ExperimentSpec:
 
 
 def load_builtin_specs() -> None:
-    """Import :mod:`repro.experiments`, which registers all built-in specs.
+    """Import the modules that register all built-in specs.
 
     Lazy (and idempotent) so that ``repro.harness`` itself never imports the
     experiment modules at import time — the experiments import the harness to
@@ -151,6 +151,7 @@ def load_builtin_specs() -> None:
         if _BUILTINS_LOADED:
             return
         import repro.experiments  # noqa: F401  (import side effect: registration)
+        import repro.harness.tuning  # noqa: F401  (registers the "tune" spec)
 
         _BUILTINS_LOADED = True
 

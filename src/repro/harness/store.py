@@ -56,10 +56,17 @@ def key_lock(key: object) -> threading.Lock:
 
 
 def resolved_engine(engine: Optional[str] = None) -> str:
-    """The virtual-MPI engine name that would be used by a run right now."""
-    from ..distsim.engine import DEFAULT_ENGINE
+    """The virtual-MPI engine name that would be used by a run right now.
 
-    return engine or os.environ.get("REPRO_VMPI_ENGINE") or DEFAULT_ENGINE
+    Delegates to the shared resolver
+    (:func:`repro.distsim.engine.resolve_engine_name`), so store keying and
+    execution follow one precedence rule (explicit > ambient context >
+    ``REPRO_VMPI_ENGINE`` > default) and can never disagree on the resolved
+    engine.
+    """
+    from ..distsim.engine import resolve_engine_name
+
+    return resolve_engine_name(engine or None)
 
 
 def context_key(
@@ -116,21 +123,24 @@ class ResultStore:
     def path_for(self, spec_name: str, key: str) -> Path:
         return self.root / spec_name / f"{spec_name}-{key[:12]}.json"
 
-    def run_context(
+    def run_config(
         self,
         spec: ExperimentSpec,
         overrides: Optional[Mapping[str, object]] = None,
         quick: bool = False,
         engine: Optional[str] = None,
-    ) -> Tuple[Dict[str, object], str, str, str, str, str]:
-        """Resolve (params, kernel_tier, engine, pivoting, matmul, key).
+    ) -> Tuple[Dict[str, object], "SolveConfig", str]:
+        """Resolve one run to ``(params, SolveConfig, context key)``.
 
         Specs with an explicit ``engine`` (or ``pivoting`` / ``matmul``)
         parameter pass it straight to their runner, so that value — not the
         ambient ``REPRO_VMPI_ENGINE`` / ``REPRO_PIVOTING`` / ``REPRO_MATMUL``
         resolution — is what the run actually uses and what gets keyed and
-        recorded.
+        recorded.  The config's ``kernel_tier`` is the fully degraded tier
+        (``auto`` resolved to ``lapack``/``reference``), matching what the
+        key has always recorded.
         """
+        from ..core.options import SolveConfig
         from ..core.strategies import DEFAULT_STRATEGY, resolve_pivoting
         from ..matmul import DEFAULT_BACKEND, resolve_matmul
 
@@ -156,8 +166,35 @@ class ResultStore:
             mm = DEFAULT_BACKEND
         else:
             mm = resolve_matmul()
-        return params, tier, eng, piv, mm, context_key(
+        config = SolveConfig(
+            pivoting=piv, engine=eng, kernel_tier=tier, matmul=mm
+        )
+        return params, config, context_key(
             spec.name, params, tier, eng, piv, mm
+        )
+
+    def run_context(
+        self,
+        spec: ExperimentSpec,
+        overrides: Optional[Mapping[str, object]] = None,
+        quick: bool = False,
+        engine: Optional[str] = None,
+    ) -> Tuple[Dict[str, object], str, str, str, str, str]:
+        """Resolve (params, kernel_tier, engine, pivoting, matmul, key).
+
+        Historical tuple view of :meth:`run_config`; the key bytes are
+        unchanged.
+        """
+        params, config, key = self.run_config(
+            spec, overrides, quick=quick, engine=engine
+        )
+        return (
+            params,
+            config.kernel_tier,
+            config.engine,
+            config.pivoting,
+            config.matmul,
+            key,
         )
 
     # -------------------------------------------------------------- load/save

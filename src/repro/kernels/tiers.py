@@ -49,11 +49,10 @@ is configured.
 
 from __future__ import annotations
 
-import os
 from contextlib import contextmanager
 from typing import Iterator, Optional
 
-from ..core.options import UnknownOptionError
+from ..core.options import Option, UnknownOptionError, register_option
 
 #: Recognised tier names.
 TIERS = ("auto", "reference", "lapack")
@@ -73,9 +72,6 @@ except Exception:  # pragma: no cover - scipy missing or broken
     _scipy_lapack = None
     HAVE_LAPACK = False
 
-_process_tier: Optional[str] = None
-
-
 def lapack_module():
     """Return the ``scipy.linalg.lapack`` module (None when unavailable)."""
     return _scipy_lapack
@@ -87,6 +83,23 @@ def _validate(tier: str) -> str:
     return tier
 
 
+#: The kernel-tier knob, registered into the shared configuration subsystem
+#: (:mod:`repro.core.options`): the functions below are thin delegations to
+#: its precedence machinery (explicit > ambient > ``REPRO_KERNEL_TIER`` >
+#: "auto").  The tier-specific semantics — ``force_reference`` and the
+#: ``auto`` -> ``lapack``/``reference`` degradation — stay here, applied
+#: *after* the shared precedence rule picks a tier name.
+OPTION = register_option(
+    Option(
+        name="kernel_tier",
+        kind="kernel tier",
+        env_var=ENV_VAR,
+        default=DEFAULT_TIER,
+        validate=_validate,
+    )
+)
+
+
 def available_tiers() -> list:
     """Tier names usable in this process (``lapack`` requires SciPy)."""
     return [t for t in TIERS if t != "lapack" or HAVE_LAPACK]
@@ -94,30 +107,19 @@ def available_tiers() -> list:
 
 def get_kernel_tier() -> str:
     """The process-wide kernel tier (override > ``REPRO_KERNEL_TIER`` > auto)."""
-    if _process_tier is not None:
-        return _process_tier
-    env = os.environ.get(ENV_VAR)
-    if env:
-        return _validate(env)
-    return DEFAULT_TIER
+    return OPTION.get()
 
 
 def set_kernel_tier(tier: Optional[str]) -> None:
     """Set (or with ``None`` clear) the process-wide kernel tier override."""
-    global _process_tier
-    _process_tier = _validate(tier) if tier is not None else None
+    OPTION.set(tier)
 
 
 @contextmanager
 def kernel_tier(tier: str) -> Iterator[None]:
     """Context manager scoping a process-wide tier override."""
-    global _process_tier
-    previous = _process_tier
-    set_kernel_tier(tier)
-    try:
+    with OPTION.context(tier):
         yield
-    finally:
-        _process_tier = previous
 
 
 def resolve_tier(tier: Optional[str] = None, force_reference: bool = False) -> str:
@@ -131,7 +133,7 @@ def resolve_tier(tier: Optional[str] = None, force_reference: bool = False) -> s
     """
     if force_reference:
         return "reference"
-    name = _validate(tier) if tier is not None else get_kernel_tier()
+    name = OPTION.resolve(tier)
     if name == "auto":
         return "lapack" if HAVE_LAPACK else "reference"
     if name == "lapack" and not HAVE_LAPACK:

@@ -29,13 +29,12 @@ Selection, in order of precedence (mirroring the other knobs):
 
 from __future__ import annotations
 
-import os
 from contextlib import contextmanager
 from typing import Dict, Iterator, List, Optional
 
 import numpy as np
 
-from ..core.options import UnknownOptionError
+from ..core.options import Option, UnknownOptionError, register_option
 from .base import MatmulBackend, PdgemmResult
 from .caps import CapsBackend, caps_count_ledger, strassen_multiply
 from .summa import SummaBackend
@@ -54,13 +53,25 @@ DEFAULT_BACKEND = "summa"
 #: ``REPRO_PIVOTING`` / ``REPRO_KERNEL_TIER`` / ``REPRO_VMPI_ENGINE``).
 ENV_VAR = "REPRO_MATMUL"
 
-_process_backend: Optional[str] = None
-
 
 def _validate(name: str) -> str:
     if name not in BACKENDS:
         raise UnknownOptionError("matmul backend", name, available_backends())
     return name
+
+
+#: The matmul knob, registered into the shared configuration subsystem
+#: (:mod:`repro.core.options`): the functions below are thin delegations to
+#: its precedence machinery (explicit > ambient > ``REPRO_MATMUL`` > "summa").
+OPTION = register_option(
+    Option(
+        name="matmul",
+        kind="matmul backend",
+        env_var=ENV_VAR,
+        default=DEFAULT_BACKEND,
+        validate=_validate,
+    )
+)
 
 
 def available_backends() -> List[str]:
@@ -75,35 +86,24 @@ def get_backend(name: str) -> MatmulBackend:
 
 def get_matmul() -> str:
     """The process-wide backend (override > ``REPRO_MATMUL`` > ``"summa"``)."""
-    if _process_backend is not None:
-        return _process_backend
-    env = os.environ.get(ENV_VAR)
-    if env:
-        return _validate(env)
-    return DEFAULT_BACKEND
+    return OPTION.get()
 
 
 def set_matmul(name: Optional[str]) -> None:
     """Set (or with ``None`` clear) the process-wide backend override."""
-    global _process_backend
-    _process_backend = _validate(name) if name is not None else None
+    OPTION.set(name)
 
 
 @contextmanager
 def matmul(name: str) -> Iterator[None]:
     """Context manager scoping a process-wide backend override."""
-    global _process_backend
-    previous = _process_backend
-    set_matmul(name)
-    try:
+    with OPTION.context(name):
         yield
-    finally:
-        _process_backend = previous
 
 
 def resolve_matmul(name: Optional[str] = None) -> str:
     """Resolve a per-call ``matmul=`` argument to a validated backend name."""
-    return _validate(name) if name is not None else get_matmul()
+    return OPTION.resolve(name)
 
 
 def pdgemm(

@@ -29,11 +29,12 @@ from typing import Optional, Union
 
 import numpy as np
 
+from ..core.options import SolveConfig
 from ..distsim.engine import ExecutionEngine
 from ..layouts.grid import ProcessGrid
 from ..machines.model import MachineModel
 from .driver import DistributedLUResult
-from .pcalu import pcalu
+from .pcalu import _merge_config, pcalu
 
 
 @dataclass
@@ -88,6 +89,23 @@ class FactoredMatrix:
     def grid(self) -> ProcessGrid:
         return ProcessGrid(self.nprow, self.npcol)
 
+    @property
+    def config(self) -> SolveConfig:
+        """The :class:`~repro.core.options.SolveConfig` that produced this factor.
+
+        Rebuilt from the artifact's identity metadata (knobs + grid shape +
+        block size), so a cached factor round-trips to the configuration the
+        tuner or the serving layer would re-request it under.
+        """
+        return SolveConfig(
+            pivoting=self.pivoting,
+            engine=self.engine,
+            kernel_tier=self.kernel_tier,
+            matmul=self.matmul,
+            grid=(self.nprow, self.npcol),
+            b=self.block_size,
+        )
+
     def nbytes(self) -> int:
         """In-memory payload size (packed + permuted + perm)."""
         return int(self.packed.nbytes + self.permuted.nbytes + self.perm.nbytes)
@@ -95,14 +113,15 @@ class FactoredMatrix:
 
 def pcalu_factor(
     A: np.ndarray,
-    grid: ProcessGrid,
-    block_size: int,
+    grid: Optional[ProcessGrid] = None,
+    block_size: Optional[int] = None,
     local_kernel: str = "getf2",
     machine: Optional[MachineModel] = None,
     engine: Union[None, str, ExecutionEngine] = None,
     kernel_tier: Optional[str] = None,
     pivoting: Optional[str] = None,
     matmul: Optional[str] = None,
+    config: Optional[SolveConfig] = None,
 ) -> FactoredMatrix:
     """Factor ``A`` on the grid and package the result for reuse.
 
@@ -111,12 +130,26 @@ def pcalu_factor(
     consumes.  The returned :class:`FactoredMatrix` feeds any number of
     :func:`repro.parallel.psolve.pdgesv_solve` calls, each bit-identical to
     the solve phase of a cold :func:`repro.parallel.psolve.pdgesv`.
+
+    ``config`` supplies defaults for unset arguments (explicit arguments
+    win), exactly as in :func:`~repro.parallel.pcalu.pcalu`.
     """
     from ..core.strategies import resolve_pivoting
-    from ..harness.store import resolved_engine
+    from ..distsim.engine import resolve_engine_name
     from ..kernels.tiers import resolve_tier
     from ..matmul import resolve_matmul
 
+    grid, block_size, machine, engine, kernel_tier, pivoting, matmul = (
+        _merge_config(
+            config, grid, block_size, machine, engine, kernel_tier, pivoting,
+            matmul,
+        )
+    )
+    if grid is None or block_size is None:
+        raise ValueError(
+            "pcalu_factor needs a process grid and a block size, either as "
+            "arguments or through config="
+        )
     A = np.asarray(A, dtype=np.float64)
     if A.ndim != 2 or A.shape[0] != A.shape[1]:
         raise ValueError("pcalu_factor expects a square matrix")
@@ -132,9 +165,6 @@ def pcalu_factor(
         matmul=matmul,
     )
     packed = np.tril(fact.L, -1) + fact.U
-    engine_name = (
-        engine.name if isinstance(engine, ExecutionEngine) else resolved_engine(engine)
-    )
     return FactoredMatrix(
         n=A.shape[0],
         block_size=block_size,
@@ -142,7 +172,7 @@ def pcalu_factor(
         npcol=grid.npcol,
         pivoting=resolve_pivoting(pivoting),
         kernel_tier=resolve_tier(kernel_tier),
-        engine=engine_name,
+        engine=resolve_engine_name(engine),
         packed=packed,
         permuted=A[fact.perm, :],
         perm=np.asarray(fact.perm, dtype=np.int64),
@@ -153,12 +183,13 @@ def pcalu_factor(
 
 def pdgetrf_factor(
     A: np.ndarray,
-    grid: ProcessGrid,
-    block_size: int,
+    grid: Optional[ProcessGrid] = None,
+    block_size: Optional[int] = None,
     machine: Optional[MachineModel] = None,
     engine: Union[None, str, ExecutionEngine] = None,
     kernel_tier: Optional[str] = None,
     matmul: Optional[str] = None,
+    config: Optional[SolveConfig] = None,
 ) -> FactoredMatrix:
     """Partial-pivoting factorization artifact (bit-for-bit PDGETRF)."""
     return pcalu_factor(
@@ -170,4 +201,5 @@ def pdgetrf_factor(
         kernel_tier=kernel_tier,
         pivoting="pp",
         matmul=matmul,
+        config=config,
     )

@@ -14,6 +14,7 @@ from typing import Callable, List, Optional, Tuple, Union
 
 import numpy as np
 
+from ..core.options import SolveConfig
 from ..core.strategies import get_strategy, resolve_pivoting
 from ..distsim.engine import ExecutionEngine
 from ..distsim.vmpi import Communicator
@@ -121,16 +122,51 @@ def make_calu_panel(
     return panel
 
 
+def _merge_config(
+    config: Optional[SolveConfig],
+    grid,
+    block_size,
+    machine,
+    engine,
+    kernel_tier,
+    pivoting,
+    matmul,
+):
+    """Fill unset driver arguments from a :class:`SolveConfig`.
+
+    Explicit per-call arguments always win; the config only supplies
+    defaults for arguments left ``None``, so threading a config through a
+    driver cannot change what a spelled-out call resolves to.
+    """
+    if config is not None:
+        if grid is None:
+            grid = config.process_grid()
+        if block_size is None:
+            block_size = config.b
+        if machine is None:
+            machine = config.machine_model()
+        if engine is None:
+            engine = config.engine
+        if kernel_tier is None:
+            kernel_tier = config.kernel_tier
+        if pivoting is None:
+            pivoting = config.pivoting
+        if matmul is None:
+            matmul = config.matmul
+    return grid, block_size, machine, engine, kernel_tier, pivoting, matmul
+
+
 def pcalu(
     A: np.ndarray,
-    grid: ProcessGrid,
-    block_size: int,
+    grid: Optional[ProcessGrid] = None,
+    block_size: Optional[int] = None,
     local_kernel: str = "getf2",
     machine: Optional[MachineModel] = None,
     engine: Union[None, str, ExecutionEngine] = None,
     kernel_tier: Optional[str] = None,
     pivoting: Optional[str] = None,
     matmul: Optional[str] = None,
+    config: Optional[SolveConfig] = None,
 ) -> DistributedLUResult:
     """Distributed CALU of ``A`` over ``grid`` with block size ``block_size``.
 
@@ -145,7 +181,24 @@ def pcalu(
     ``"caps"``, see :mod:`repro.matmul`).  Returns the gathered factors,
     the pivot sequence and the per-rank communication trace (see
     :class:`~repro.parallel.driver.DistributedLUResult`).
+
+    ``config`` is an optional :class:`~repro.core.options.SolveConfig`
+    supplying defaults for every unset argument above (grid, block size,
+    machine and all four knobs); explicit per-call arguments still win, so
+    ``pcalu(A, config=cfg)`` and the historical spelled-out signature
+    resolve identically.
     """
+    grid, block_size, machine, engine, kernel_tier, pivoting, matmul = (
+        _merge_config(
+            config, grid, block_size, machine, engine, kernel_tier, pivoting,
+            matmul,
+        )
+    )
+    if grid is None or block_size is None:
+        raise ValueError(
+            "pcalu needs a process grid and a block size, either as "
+            "arguments or through config="
+        )
     strategy = get_strategy(resolve_pivoting(pivoting))
     if strategy.tournament:
         def panel_factory() -> Callable[..., List[Tuple[int, int]]]:

@@ -46,6 +46,7 @@ from typing import Dict, List, Optional, Tuple, Union
 
 import numpy as np
 
+from ..core.options import SolveConfig
 from ..distsim.collectives import allreduce, reduce
 from ..distsim.engine import ExecutionEngine
 from ..distsim.engine.base import spmd_program
@@ -64,6 +65,7 @@ from ..scalapack.pdtrsv import (
 )
 from .driver import DistributedLUResult
 from .factor import FactoredMatrix, pcalu_factor
+from .pcalu import _merge_config
 
 
 @dataclass
@@ -288,8 +290,8 @@ def pdgesv_rank(
 def pdgesv(
     A: np.ndarray,
     b: np.ndarray,
-    grid: ProcessGrid,
-    block_size: int,
+    grid: Optional[ProcessGrid] = None,
+    block_size: Optional[int] = None,
     local_kernel: str = "getf2",
     machine: Optional[MachineModel] = None,
     engine: Union[None, str, ExecutionEngine] = None,
@@ -298,6 +300,7 @@ def pdgesv(
     matmul: Optional[str] = None,
     refine: int = 2,
     tolerance: float = 1.0e-16,
+    config: Optional[SolveConfig] = None,
 ) -> DistributedSolveResult:
     """Solve ``A x = b`` end to end on the virtual process grid.
 
@@ -326,11 +329,21 @@ def pdgesv(
         Refinement stops once the componentwise backward error drops below
         this (default ``1e-16``, matching
         :func:`repro.core.solve.solve_with_refinement`).
+    config:
+        Optional :class:`~repro.core.options.SolveConfig` supplying defaults
+        for every unset argument above (explicit arguments win), so
+        ``pdgesv(A, b, config=cfg)`` runs the configuration as resolved.
 
     Returns
     -------
     DistributedSolveResult
     """
+    grid, block_size, machine, engine, kernel_tier, pivoting, matmul = (
+        _merge_config(
+            config, grid, block_size, machine, engine, kernel_tier, pivoting,
+            matmul,
+        )
+    )
     factor = pcalu_factor(
         A,
         grid,
@@ -360,6 +373,7 @@ def pdgesv_solve(
     refine: int = 2,
     tolerance: float = 1.0e-16,
     rhs_slo: Optional[np.ndarray] = None,
+    config: Optional[SolveConfig] = None,
 ) -> DistributedSolveResult:
     """Solve ``A x = b`` against an already-computed (possibly cached) factor.
 
@@ -390,7 +404,16 @@ def pdgesv_solve(
         refinement loop keeps iterating, within ``refine``, while any
         right-hand side exceeds its target.  Used by the serving layer to
         honor per-request residual SLOs inside one coalesced sweep.
+    config:
+        Optional :class:`~repro.core.options.SolveConfig` supplying the
+        solve-phase ``machine``/``engine`` defaults when the explicit
+        arguments are unset.
     """
+    if config is not None:
+        if machine is None:
+            machine = config.machine_model()
+        if engine is None:
+            engine = config.engine
     n = factor.n
     b = np.asarray(b, dtype=np.float64)
     one_d = b.ndim == 1

@@ -22,7 +22,6 @@ from repro.matmul import (
     DEFAULT_BACKEND,
     available_backends,
     get_backend,
-    get_matmul,
     matmul,
     pdgemm,
     resolve_matmul,
@@ -68,29 +67,9 @@ def test_unknown_backend_raises_unknown_option_error():
     assert err.available == ["caps", "summa"]
 
 
-def test_knob_precedence_call_over_process_over_env(monkeypatch):
-    monkeypatch.delenv("REPRO_MATMUL", raising=False)
-    assert resolve_matmul() == "summa"
-    monkeypatch.setenv("REPRO_MATMUL", "caps")
-    assert resolve_matmul() == "caps"
-    set_matmul("summa")
-    try:
-        assert resolve_matmul() == "summa"  # process override beats env
-        assert resolve_matmul("caps") == "caps"  # explicit beats both
-    finally:
-        set_matmul(None)
-    assert resolve_matmul() == "caps"  # env visible again
-    assert get_matmul() == "caps"
-
-
-def test_context_manager_restores_previous_backend(monkeypatch):
-    monkeypatch.delenv("REPRO_MATMUL", raising=False)
-    with matmul("caps"):
-        assert resolve_matmul() == "caps"
-        with matmul("summa"):
-            assert resolve_matmul() == "summa"
-        assert resolve_matmul() == "caps"
-    assert resolve_matmul() == "summa"
+# The precedence rule (explicit > ambient > REPRO_MATMUL > default) and the
+# context-manager nesting are covered for every knob at once by the
+# parametrized suite in tests/test_options.py.
 
 
 # ------------------------------------------------------------- local Strassen

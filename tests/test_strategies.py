@@ -18,9 +18,7 @@ from repro.core.calu import factorization_error
 from repro.core.strategies import (
     DEFAULT_STRATEGY,
     available_strategies,
-    get_pivoting,
     get_strategy,
-    pivoting,
     resolve_pivoting,
     set_pivoting,
 )
@@ -45,32 +43,9 @@ def test_registry_lists_all_three_strategies():
     assert not get_strategy("pp").tournament
 
 
-def test_resolve_pivoting_precedence(monkeypatch):
-    monkeypatch.delenv("REPRO_PIVOTING", raising=False)
-    set_pivoting(None)
-    assert get_pivoting() == "ca"
-    monkeypatch.setenv("REPRO_PIVOTING", "ca_prrp")
-    assert resolve_pivoting() == "ca_prrp"
-    # The process-wide override beats the environment...
-    set_pivoting("pp")
-    try:
-        assert resolve_pivoting() == "pp"
-        # ...and the per-call argument beats everything.
-        assert resolve_pivoting("ca") == "ca"
-    finally:
-        set_pivoting(None)
-
-
-def test_pivoting_context_manager_restores_previous():
-    set_pivoting(None)
-    with pivoting("ca_prrp"):
-        assert get_pivoting() == "ca_prrp"
-        with pivoting("pp"):
-            assert get_pivoting() == "pp"
-        assert get_pivoting() == "ca_prrp"
-    assert get_pivoting() == "ca"
-
-
+# The precedence rule (explicit > ambient > REPRO_PIVOTING > default) and
+# the context-manager nesting are covered for every knob at once by the
+# parametrized suite in tests/test_options.py.
 def test_unknown_strategy_rejected_everywhere():
     with pytest.raises(ValueError, match="unknown pivoting strategy"):
         resolve_pivoting("rook")
